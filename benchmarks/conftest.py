@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Hartree-Fock solutions and HMP2 term lists are computed once per session and
+cached, so individual benchmarks measure only the compilation / simulation
+stage they target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
+from repro.vqe import hmp2_ranked_terms
+
+#: Frozen-core settings per molecule (H2 has no core to freeze).
+FROZEN_CORE = {"H2": 0, "LiH": 1, "HF": 1, "BeH2": 1, "H2O": 1, "NH3": 1}
+
+
+@pytest.fixture(scope="session")
+def molecule_data():
+    """Factory returning (hamiltonian, ranked_terms) per molecule, cached."""
+    cache = {}
+
+    def build(name: str, n_active_spatial_orbitals=None):
+        key = (name, n_active_spatial_orbitals)
+        if key not in cache:
+            scf = run_rhf(make_molecule(name))
+            hamiltonian = build_molecular_hamiltonian(
+                scf,
+                n_frozen_spatial_orbitals=FROZEN_CORE[name],
+                n_active_spatial_orbitals=n_active_spatial_orbitals,
+            )
+            cache[key] = (hamiltonian, hmp2_ranked_terms(hamiltonian))
+        return cache[key]
+
+    return build

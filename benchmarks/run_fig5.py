@@ -1,0 +1,81 @@
+"""Regenerate Fig. 5 of the paper: water energy estimate vs number of ansatz terms.
+
+Runs the adaptive VQE loop (Fig. 1) on the water molecule with the HMP2 term
+ordering and prints the energy estimate for every ansatz size M, together with
+the error against the exact (FCI) ground state of the active space and the
+chemical-accuracy flag.  The series corresponds to the orange curve of Fig. 5
+(this work); the blue prior-art curve is numerically identical here because
+both flows prepare the same ansatz state — the paper's point being exactly
+that the circuit optimizations cost no accuracy.
+
+The paper simulates the full 14-spin-orbital water system and reaches chemical
+accuracy at M = 17.  That takes a while in pure Python; the default here is a
+12-spin-orbital frozen-core active space.  Use ``--active 5`` for a fast run
+or ``--active 6`` (the default) for the fuller progression.
+
+Usage:
+    python benchmarks/run_fig5.py [--active 6] [--max-terms 17]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
+from repro.simulator import CHEMICAL_ACCURACY, fci_ground_state_energy
+from repro.vqe import adaptive_vqe, hmp2_ranked_terms
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--active", type=int, default=6, help="active spatial orbitals")
+    parser.add_argument("--max-terms", type=int, default=17)
+    parser.add_argument("--output", type=Path, default=Path("benchmarks/results_fig5.json"))
+    args = parser.parse_args()
+
+    start = time.time()
+    scf = run_rhf(make_molecule("H2O"))
+    hamiltonian = build_molecular_hamiltonian(
+        scf, n_frozen_spatial_orbitals=1, n_active_spatial_orbitals=args.active
+    )
+    exact = fci_ground_state_energy(hamiltonian)
+    print(f"H2O STO-3G: HF = {scf.energy:.6f} Ha, active space = "
+          f"{hamiltonian.n_spin_orbitals} spin orbitals, FCI = {exact:.6f} Ha")
+
+    ranked = hmp2_ranked_terms(hamiltonian)
+    result = adaptive_vqe(hamiltonian, ranked, max_terms=args.max_terms, exact_energy=exact)
+
+    print(f"\n{'M':>4}{'E_VQE (Ha)':>16}{'error (mHa)':>14}{'chem. acc.':>12}")
+    print("-" * 46)
+    series = []
+    for m, energy in zip(result.n_terms, result.energies):
+        error = abs(energy - exact)
+        accurate = error <= CHEMICAL_ACCURACY
+        print(f"{m:>4}{energy:>16.6f}{1000 * error:>14.3f}{'yes' if accurate else 'no':>12}")
+        series.append({"n_terms": m, "energy": energy, "error": error})
+
+    print(f"\nChemical accuracy reached at M = {result.n_terms[-1]}"
+          f" ({'converged' if result.converged else 'not converged'});"
+          f" paper (full 14-orbital water): M = 17."
+          f"  [total {time.time() - start:.1f}s]")
+
+    args.output.write_text(
+        json.dumps(
+            {
+                "active_spatial_orbitals": args.active,
+                "exact_energy": exact,
+                "hartree_fock_energy": scf.energy,
+                "series": series,
+                "converged": result.converged,
+            },
+            indent=2,
+        )
+    )
+    print(f"Wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

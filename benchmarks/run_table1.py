@@ -1,0 +1,131 @@
+"""Regenerate Table I of the paper (full sweep).
+
+For every molecule of Table I this script selects the requested number of
+HMP2-ranked UCCSD excitation terms and reports the CNOT counts of the four
+compilation flows (JW, BK, prior-art baseline "GT", and this work "Adv"),
+plus the improvement of Adv over GT.
+
+The NH3 row and the deeper water progressions take several minutes in pure
+Python; pass ``--quick`` to restrict the sweep to the fast rows.
+
+Usage:
+    python benchmarks/run_table1.py [--quick] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.baselines import BaselineCompiler, naive_cnot_count
+from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
+from repro.core import AdvancedCompiler
+from repro.transforms import BravyiKitaevTransform, JordanWignerTransform
+from repro.vqe import hmp2_ranked_terms
+
+#: Full Table-I style sweep: (molecule, frozen core, list of Ne values).
+FULL_CASES = [
+    ("HF", 1, [3]),
+    ("LiH", 1, [3]),
+    ("BeH2", 1, [9]),
+    ("NH3", 1, [12]),
+    ("H2O", 1, [4, 5, 6, 8, 9, 11, 12, 14, 16, 17]),
+]
+
+QUICK_CASES = [
+    ("HF", 1, [3]),
+    ("LiH", 1, [3]),
+    ("BeH2", 1, [6]),
+    ("H2O", 1, [4, 6, 8]),
+]
+
+#: Published Table I values (JW, BK, GT, Adv) for side-by-side comparison.
+PAPER_TABLE1 = {
+    ("HF", 3): (30, 29, 25, 19),
+    ("LiH", 3): (30, 29, 25, 19),
+    ("BeH2", 9): (70, 71, 60, 53),
+    ("NH3", 52): (485, 607, 478, 461),
+    ("H2O", 4): (42, 50, 33, 27),
+    ("H2O", 5): (44, 52, 35, 29),
+    ("H2O", 6): (46, 47, 37, 31),
+    ("H2O", 8): (68, 88, 63, 50),
+    ("H2O", 9): (71, 89, 66, 53),
+    ("H2O", 11): (93, 110, 87, 67),
+    ("H2O", 12): (95, 112, 89, 70),
+    ("H2O", 14): (114, 140, 111, 88),
+    ("H2O", 16): (135, 166, 131, 105),
+    ("H2O", 17): (137, 168, 133, 107),
+}
+
+
+def compile_row(hamiltonian, terms, seed: int):
+    n_qubits = hamiltonian.n_spin_orbitals
+    jw = naive_cnot_count(terms, JordanWignerTransform(n_qubits))
+    bk = naive_cnot_count(terms, BravyiKitaevTransform(n_qubits))
+    baseline = BaselineCompiler().compile(terms, n_qubits=n_qubits).cnot_count
+    advanced = AdvancedCompiler(
+        gamma_steps=30, sorting_population=20, sorting_generations=25, seed=seed
+    ).compile(terms, n_qubits=n_qubits).cnot_count
+    return jw, bk, baseline, advanced
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run only the fast rows")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=Path("benchmarks/results_table1.json"))
+    args = parser.parse_args()
+
+    cases = QUICK_CASES if args.quick else FULL_CASES
+    rows = []
+    header = (
+        f"{'Molecule':<9}{'Ne':>4}{'JW':>7}{'BK':>7}{'GT':>7}{'Adv':>7}{'Impr%':>8}"
+        f"   | paper: {'JW':>4}{'BK':>5}{'GT':>5}{'Adv':>5}{'Impr%':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for molecule_name, frozen, term_counts in cases:
+        scf = run_rhf(make_molecule(molecule_name))
+        hamiltonian = build_molecular_hamiltonian(scf, n_frozen_spatial_orbitals=frozen)
+        ranked = hmp2_ranked_terms(hamiltonian)
+        for n_terms in term_counts:
+            terms = ranked[: min(n_terms, len(ranked))]
+            start = time.time()
+            jw, bk, baseline, advanced = compile_row(hamiltonian, terms, args.seed)
+            elapsed = time.time() - start
+            improvement = 100.0 * (1.0 - advanced / baseline) if baseline else 0.0
+            paper = PAPER_TABLE1.get((molecule_name, n_terms))
+            if paper:
+                paper_improvement = 100.0 * (1.0 - paper[3] / paper[2])
+                paper_text = (
+                    f"{paper[0]:>4}{paper[1]:>5}{paper[2]:>5}{paper[3]:>5}{paper_improvement:>7.2f}"
+                )
+            else:
+                paper_text = f"{'-':>4}{'-':>5}{'-':>5}{'-':>5}{'-':>7}"
+            print(
+                f"{molecule_name:<9}{len(terms):>4}{jw:>7}{bk:>7}{baseline:>7}{advanced:>7}"
+                f"{improvement:>8.2f}   |        {paper_text}   [{elapsed:.1f}s]"
+            )
+            rows.append(
+                {
+                    "molecule": molecule_name,
+                    "n_terms": len(terms),
+                    "jw": jw,
+                    "bk": bk,
+                    "baseline_gt": baseline,
+                    "advanced": advanced,
+                    "improvement_percent": improvement,
+                    "paper": paper,
+                    "seconds": elapsed,
+                }
+            )
+
+    args.output.write_text(json.dumps(rows, indent=2))
+    print(f"\nWrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

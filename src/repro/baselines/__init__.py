@@ -1,0 +1,15 @@
+"""Prior-art baseline compilation pipeline (references [8] and [9] of the paper)."""
+
+from repro.baselines.compiler import (
+    BOSONIC_TERM_CNOT_COST,
+    BaselineCompilationResult,
+    BaselineCompiler,
+    naive_cnot_count,
+)
+
+__all__ = [
+    "BOSONIC_TERM_CNOT_COST",
+    "BaselineCompiler",
+    "BaselineCompilationResult",
+    "naive_cnot_count",
+]

@@ -1,0 +1,143 @@
+"""Restricted Hartree-Fock (RHF) self-consistent field solver.
+
+The Hartree-Fock determinant is both the reference state |Ψ0⟩ of the UCCSD
+ansatz (the paper follows [8], [9] in using it) and the source of the
+molecular-orbital integrals that define the second-quantized Hamiltonian.
+The SCF procedure uses symmetric orthogonalization and simple Fock-matrix
+damping; DIIS is unnecessary for the small closed-shell molecules of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.linalg import eigh
+
+from repro.chemistry.basis import BasisFunction, Molecule, build_sto3g_basis
+from repro.chemistry.integrals import (
+    build_core_hamiltonian,
+    build_electron_repulsion_tensor,
+    build_overlap_matrix,
+)
+
+
+@dataclass
+class ScfResult:
+    """Converged restricted Hartree-Fock solution."""
+
+    molecule: Molecule
+    basis: List[BasisFunction]
+    energy: float
+    orbital_energies: np.ndarray
+    orbital_coefficients: np.ndarray
+    density_matrix: np.ndarray
+    core_hamiltonian: np.ndarray
+    overlap: np.ndarray
+    electron_repulsion: np.ndarray
+    n_iterations: int
+    converged: bool
+
+    @property
+    def n_orbitals(self) -> int:
+        """Number of spatial molecular orbitals."""
+        return self.orbital_coefficients.shape[1]
+
+    @property
+    def n_occupied(self) -> int:
+        """Number of doubly occupied spatial orbitals."""
+        return self.molecule.n_electrons // 2
+
+    @property
+    def electronic_energy(self) -> float:
+        """HF energy without the nuclear repulsion constant."""
+        return self.energy - self.molecule.nuclear_repulsion
+
+
+def _build_fock_matrix(
+    core: np.ndarray, density: np.ndarray, eri: np.ndarray
+) -> np.ndarray:
+    """Fock matrix F = H_core + J - K/2 for a closed-shell density."""
+    coulomb = np.einsum("pqrs,rs->pq", eri, density)
+    exchange = np.einsum("prqs,rs->pq", eri, density)
+    return core + coulomb - 0.5 * exchange
+
+
+def run_rhf(
+    molecule: Molecule,
+    basis: Optional[Sequence[BasisFunction]] = None,
+    max_iterations: int = 100,
+    convergence: float = 1e-8,
+    damping: float = 0.0,
+) -> ScfResult:
+    """Solve the restricted Hartree-Fock equations for a closed-shell molecule.
+
+    Parameters
+    ----------
+    molecule:
+        The molecule; must have an even number of electrons.
+    basis:
+        Basis functions; defaults to STO-3G.
+    max_iterations:
+        SCF iteration cap.
+    convergence:
+        Convergence threshold on both the energy change and the density change.
+    damping:
+        Optional linear mixing of consecutive density matrices in [0, 1).
+    """
+    if molecule.n_electrons % 2 != 0:
+        raise ValueError("restricted HF requires an even number of electrons")
+    if not 0.0 <= damping < 1.0:
+        raise ValueError("damping must lie in [0, 1)")
+    basis = list(basis) if basis is not None else build_sto3g_basis(molecule)
+    n_occupied = molecule.n_electrons // 2
+    if n_occupied > len(basis):
+        raise ValueError("not enough basis functions for the electron count")
+
+    overlap = build_overlap_matrix(basis)
+    core = build_core_hamiltonian(basis, molecule)
+    eri = build_electron_repulsion_tensor(basis)
+
+    density = np.zeros_like(overlap)
+    energy = 0.0
+    converged = False
+    orbital_energies = np.zeros(len(basis))
+    coefficients = np.zeros_like(overlap)
+
+    for iteration in range(1, max_iterations + 1):
+        fock = _build_fock_matrix(core, density, eri)
+        orbital_energies, coefficients = eigh(fock, overlap)
+        occupied = coefficients[:, :n_occupied]
+        new_density = 2.0 * occupied @ occupied.T
+        if damping > 0.0 and iteration > 1:
+            new_density = (1.0 - damping) * new_density + damping * density
+
+        electronic_energy = 0.5 * np.sum(new_density * (core + fock))
+        new_energy = electronic_energy + molecule.nuclear_repulsion
+
+        density_change = np.max(np.abs(new_density - density))
+        energy_change = abs(new_energy - energy)
+        density, energy = new_density, new_energy
+        if iteration > 1 and energy_change < convergence and density_change < convergence:
+            converged = True
+            break
+
+    # Recompute the energy consistently with the final density.
+    fock = _build_fock_matrix(core, density, eri)
+    electronic_energy = 0.5 * np.sum(density * (core + fock))
+    energy = electronic_energy + molecule.nuclear_repulsion
+
+    return ScfResult(
+        molecule=molecule,
+        basis=list(basis),
+        energy=float(energy),
+        orbital_energies=orbital_energies,
+        orbital_coefficients=coefficients,
+        density_matrix=density,
+        core_hamiltonian=core,
+        overlap=overlap,
+        electron_repulsion=eri,
+        n_iterations=iteration,
+        converged=converged,
+    )

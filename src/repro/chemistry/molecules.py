@@ -1,0 +1,93 @@
+"""Ground-state geometries of the molecules evaluated in the paper.
+
+Table I of the paper covers HF (hydrogen fluoride), LiH, BeH2, NH3 and H2O in
+the STO-3G basis at their ground-state geometries.  H2 is included as the
+smallest test system.  All geometries are standard experimental equilibrium
+structures given in Angstrom.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.chemistry.basis import Molecule
+
+#: Geometry type: list of (element, (x, y, z)) in Angstrom.
+Geometry = List[Tuple[str, Tuple[float, float, float]]]
+
+
+def h2_geometry(bond_length: float = 0.7414) -> Geometry:
+    """Molecular hydrogen at the given bond length (Angstrom)."""
+    return [("H", (0.0, 0.0, 0.0)), ("H", (0.0, 0.0, bond_length))]
+
+
+def lih_geometry(bond_length: float = 1.5949) -> Geometry:
+    """Lithium hydride at its equilibrium bond length."""
+    return [("Li", (0.0, 0.0, 0.0)), ("H", (0.0, 0.0, bond_length))]
+
+
+def hf_geometry(bond_length: float = 0.9168) -> Geometry:
+    """Hydrogen fluoride at its equilibrium bond length."""
+    return [("F", (0.0, 0.0, 0.0)), ("H", (0.0, 0.0, bond_length))]
+
+
+def beh2_geometry(bond_length: float = 1.3264) -> Geometry:
+    """Linear beryllium dihydride."""
+    return [
+        ("Be", (0.0, 0.0, 0.0)),
+        ("H", (0.0, 0.0, bond_length)),
+        ("H", (0.0, 0.0, -bond_length)),
+    ]
+
+
+def water_geometry(bond_length: float = 0.9572, angle_degrees: float = 104.52) -> Geometry:
+    """Water at its experimental equilibrium geometry."""
+    half_angle = math.radians(angle_degrees) / 2.0
+    x = bond_length * math.sin(half_angle)
+    z = bond_length * math.cos(half_angle)
+    return [
+        ("O", (0.0, 0.0, 0.0)),
+        ("H", (x, 0.0, z)),
+        ("H", (-x, 0.0, z)),
+    ]
+
+
+def ammonia_geometry(bond_length: float = 1.0116, angle_degrees: float = 106.67) -> Geometry:
+    """Pyramidal ammonia with the given N-H length and H-N-H angle."""
+    angle = math.radians(angle_degrees)
+    # Place the three hydrogens on a circle below the nitrogen such that the
+    # H-N-H angle matches: with polar angle θ from the C3 axis,
+    # cos(HNH) = cos²θ + sin²θ cos(120°).
+    cos_theta_sq = (2.0 * math.cos(angle) + 1.0) / 3.0
+    # Guard against tiny negative values from round-off.
+    cos_theta_sq = max(cos_theta_sq, 0.0)
+    cos_theta = math.sqrt(cos_theta_sq)
+    sin_theta = math.sqrt(max(1.0 - cos_theta_sq, 0.0))
+    radius = bond_length * sin_theta
+    height = -bond_length * cos_theta
+    geometry: Geometry = [("N", (0.0, 0.0, 0.0))]
+    for k in range(3):
+        azimuth = 2.0 * math.pi * k / 3.0
+        geometry.append(
+            ("H", (radius * math.cos(azimuth), radius * math.sin(azimuth), height))
+        )
+    return geometry
+
+
+#: Registry of named geometries used by the benchmark harnesses.
+GEOMETRIES: Dict[str, Geometry] = {
+    "H2": h2_geometry(),
+    "LiH": lih_geometry(),
+    "HF": hf_geometry(),
+    "BeH2": beh2_geometry(),
+    "H2O": water_geometry(),
+    "NH3": ammonia_geometry(),
+}
+
+
+def make_molecule(name: str, charge: int = 0) -> Molecule:
+    """Build a :class:`Molecule` for one of the named Table-I systems."""
+    if name not in GEOMETRIES:
+        raise ValueError(f"unknown molecule {name!r}; available: {sorted(GEOMETRIES)}")
+    return Molecule.from_angstrom(GEOMETRIES[name], charge=charge, name=name)

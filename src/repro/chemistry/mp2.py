@@ -1,0 +1,90 @@
+"""Second-order Møller-Plesset (MP2) amplitudes and pair energies.
+
+The paper selects and orders UCCSD excitation terms with the HMP2 procedure of
+[9]: second-order perturbation theory both improves the energy estimate and
+ranks which excitation term is the next most important one to add to the
+ansatz.  The classical ingredient of that ranking is the MP2 amplitude of
+every double excitation, computed here from the spin-orbital integrals of a
+:class:`~repro.chemistry.hamiltonian.MolecularHamiltonian`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.chemistry.hamiltonian import MolecularHamiltonian
+
+#: Denominators smaller than this are treated as degenerate and skipped.
+DEGENERACY_TOLERANCE = 1e-8
+
+
+@dataclass(frozen=True)
+class DoubleExcitationAmplitude:
+    """MP2 data for the double excitation ``a†_a a†_b a_j a_i``.
+
+    ``i < j`` are occupied spin orbitals, ``a < b`` are virtual spin orbitals,
+    ``amplitude`` is the MP2 t-amplitude and ``energy`` its pair-energy
+    contribution (always non-positive).
+    """
+
+    occupied: Tuple[int, int]
+    virtual: Tuple[int, int]
+    amplitude: float
+    energy: float
+
+    @property
+    def importance(self) -> float:
+        """Ranking key used by the HMP2 ordering (magnitude of the energy)."""
+        return abs(self.energy)
+
+
+def antisymmetrized_integral(
+    hamiltonian: MolecularHamiltonian, p: int, q: int, r: int, s: int
+) -> float:
+    """Antisymmetrized two-electron integral ``⟨pq||rs⟩ = ⟨pq|rs⟩ - ⟨pq|sr⟩``."""
+    two_body = hamiltonian.two_body
+    return float(two_body[p, q, r, s] - two_body[p, q, s, r])
+
+
+def mp2_amplitudes(hamiltonian: MolecularHamiltonian) -> List[DoubleExcitationAmplitude]:
+    """All non-zero MP2 double-excitation amplitudes, unsorted."""
+    occupied = hamiltonian.occupied_spin_orbitals()
+    virtual = hamiltonian.virtual_spin_orbitals()
+    energies = hamiltonian.orbital_energies
+    amplitudes: List[DoubleExcitationAmplitude] = []
+    for index_i, i in enumerate(occupied):
+        for j in occupied[index_i + 1:]:
+            for index_a, a in enumerate(virtual):
+                for b in virtual[index_a + 1:]:
+                    numerator = antisymmetrized_integral(hamiltonian, i, j, a, b)
+                    if abs(numerator) < 1e-12:
+                        continue
+                    denominator = energies[i] + energies[j] - energies[a] - energies[b]
+                    if abs(denominator) < DEGENERACY_TOLERANCE:
+                        continue
+                    amplitude = numerator / denominator
+                    energy = numerator * amplitude
+                    amplitudes.append(
+                        DoubleExcitationAmplitude(
+                            occupied=(i, j),
+                            virtual=(a, b),
+                            amplitude=float(amplitude),
+                            energy=float(energy),
+                        )
+                    )
+    return amplitudes
+
+
+def mp2_energy_correction(hamiltonian: MolecularHamiltonian) -> float:
+    """Total MP2 correlation energy (sum of pair energies)."""
+    return float(sum(amplitude.energy for amplitude in mp2_amplitudes(hamiltonian)))
+
+
+def ranked_double_excitations(
+    hamiltonian: MolecularHamiltonian,
+) -> List[DoubleExcitationAmplitude]:
+    """Double excitations sorted by decreasing MP2 importance."""
+    return sorted(mp2_amplitudes(hamiltonian), key=lambda amp: -amp.importance)

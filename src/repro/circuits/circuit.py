@@ -1,0 +1,212 @@
+"""Quantum circuit container with CNOT accounting.
+
+The circuit is a flat, ordered list of :class:`~repro.circuits.gates.Gate`
+objects on a fixed register size.  The figure of merit throughout the paper is
+the number of CNOT gates, exposed here as :attr:`Circuit.cnot_count`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+
+
+class Circuit:
+    """An ordered sequence of gates on ``n_qubits`` qubits."""
+
+    __slots__ = ("n_qubits", "_gates")
+
+    def __init__(self, n_qubits: int, gates: Optional[Iterable[Gate]] = None):
+        if n_qubits <= 0:
+            raise ValueError("n_qubits must be positive")
+        self.n_qubits = int(n_qubits)
+        self._gates: List[Gate] = []
+        if gates:
+            for gate in gates:
+                self.append(gate)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "Circuit":
+        """Append a gate, validating its qubits fit in the register."""
+        if not isinstance(gate, Gate):
+            raise TypeError(f"expected Gate, got {type(gate).__name__}")
+        if any(q >= self.n_qubits or q < 0 for q in gate.qubits):
+            raise ValueError(
+                f"gate {gate} acts outside a register of {self.n_qubits} qubits"
+            )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        """Append every gate from an iterable."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("cannot compose circuits on different register sizes")
+        return Circuit(self.n_qubits, list(self._gates) + list(other._gates))
+
+    def inverse(self) -> "Circuit":
+        """Return the inverse circuit (reversed order of inverted gates)."""
+        return Circuit(self.n_qubits, [gate.inverse() for gate in reversed(self._gates)])
+
+    def copy(self) -> "Circuit":
+        return Circuit(self.n_qubits, list(self._gates))
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        return self.compose(other)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple."""
+        return tuple(self._gates)
+
+    @property
+    def cnot_count(self) -> int:
+        """Number of CNOT gates — the paper's primary cost metric."""
+        return sum(1 for gate in self._gates if gate.is_cnot)
+
+    @property
+    def two_qubit_count(self) -> int:
+        """Number of two-qubit gates of any kind."""
+        return sum(1 for gate in self._gates if gate.is_two_qubit)
+
+    @property
+    def single_qubit_count(self) -> int:
+        """Number of single-qubit gates."""
+        return sum(1 for gate in self._gates if gate.is_single_qubit)
+
+    def count(self, name: str) -> int:
+        """Number of gates with the given name."""
+        name = name.upper()
+        return sum(1 for gate in self._gates if gate.name == name)
+
+    def depth(self) -> int:
+        """Circuit depth assuming gates on disjoint qubits run in parallel."""
+        frontier = [0] * self.n_qubits
+        for gate in self._gates:
+            layer = 1 + max(frontier[q] for q in gate.qubits)
+            for q in gate.qubits:
+                frontier[q] = layer
+        return max(frontier, default=0)
+
+    def qubits_used(self) -> Tuple[int, ...]:
+        """Sorted tuple of qubits touched by at least one gate."""
+        return tuple(sorted({q for gate in self._gates for q in gate.qubits}))
+
+    def parameters(self) -> Tuple[float, ...]:
+        """All rotation angles, in gate order."""
+        return tuple(g.parameter for g in self._gates if g.parameter is not None)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Circuit(self.n_qubits, self._gates[index])
+        return self._gates[index]
+
+    # ------------------------------------------------------------------
+    # Simulation / verification
+    # ------------------------------------------------------------------
+    def to_unitary(self) -> np.ndarray:
+        """Dense unitary of the circuit (qubit 0 is the most significant bit).
+
+        Intended for verification on small registers; the cost is
+        ``O(4**n_qubits)`` memory.
+        """
+        dim = 2 ** self.n_qubits
+        unitary = np.eye(dim, dtype=complex)
+        for gate in self._gates:
+            unitary = self._embed(gate) @ unitary
+        return unitary
+
+    def _embed(self, gate: Gate) -> np.ndarray:
+        """Embed a gate matrix into the full register."""
+        dim = 2 ** self.n_qubits
+        small = gate.matrix()
+        k = len(gate.qubits)
+        embedded = np.zeros((dim, dim), dtype=complex)
+        other_qubits = [q for q in range(self.n_qubits) if q not in gate.qubits]
+        for basis in range(dim):
+            bits = [(basis >> (self.n_qubits - 1 - q)) & 1 for q in range(self.n_qubits)]
+            col_sub = 0
+            for q in gate.qubits:
+                col_sub = (col_sub << 1) | bits[q]
+            for row_sub in range(2 ** k):
+                amplitude = small[row_sub, col_sub]
+                if amplitude == 0:
+                    continue
+                new_bits = list(bits)
+                for position, q in enumerate(gate.qubits):
+                    new_bits[q] = (row_sub >> (k - 1 - position)) & 1
+                row = 0
+                for q in range(self.n_qubits):
+                    row = (row << 1) | new_bits[q]
+                embedded[row, basis] += amplitude
+        return embedded
+
+    def apply_to_statevector(self, state: np.ndarray) -> np.ndarray:
+        """Apply the circuit to a statevector of length ``2**n_qubits``."""
+        state = np.asarray(state, dtype=complex).reshape([2] * self.n_qubits)
+        for gate in self._gates:
+            state = _apply_gate_to_tensor(state, gate, self.n_qubits)
+        return state.reshape(-1)
+
+    def equals_up_to_global_phase(self, other: "Circuit", tolerance: float = 1e-8) -> bool:
+        """True if the two circuits implement the same unitary up to global phase."""
+        if other.n_qubits != self.n_qubits:
+            return False
+        u, v = self.to_unitary(), other.to_unitary()
+        product = u.conj().T @ v
+        phase = product[0, 0]
+        if abs(abs(phase) - 1.0) > tolerance:
+            return False
+        return np.allclose(product, phase * np.eye(product.shape[0]), atol=tolerance)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(n_qubits={self.n_qubits}, gates={len(self._gates)}, "
+            f"cnots={self.cnot_count})"
+        )
+
+    def summary(self) -> str:
+        """One gate per line, for debugging and documentation examples."""
+        return "\n".join(repr(gate) for gate in self._gates)
+
+
+def _apply_gate_to_tensor(state: np.ndarray, gate: Gate, n_qubits: int) -> np.ndarray:
+    """Apply a gate to a state stored as an n-dimensional tensor of shape (2,)*n."""
+    axes = gate.qubits
+    k = len(axes)
+    matrix = gate.matrix().reshape([2] * (2 * k))
+    # Contract the gate's input legs with the state's axes; tensordot places
+    # the gate's output legs first, followed by the untouched state axes in
+    # their original relative order.
+    state = np.tensordot(matrix, state, axes=(list(range(k, 2 * k)), list(axes)))
+    # Build the permutation that puts the new axes (0..k-1) back at `axes`.
+    permutation = []
+    rest = iter(range(k, n_qubits))
+    for qubit in range(n_qubits):
+        if qubit in axes:
+            permutation.append(axes.index(qubit))
+        else:
+            permutation.append(next(rest))
+    return np.transpose(state, permutation)

@@ -1,0 +1,153 @@
+"""CNOT cancellation accounting at the interface of consecutive Pauli exponentials.
+
+Section III-B of the paper assigns, to every ordered pair of targeted Pauli
+strings ``[P1, t1]`` and ``[P2, t2]`` implemented back to back, the number of
+CNOT gates saved at their interface.  With a shared target (``t1 = t2 = t``)
+the saving is ``Σ_i ω_i`` over non-target qubits ``i``:
+
+* ``ω_i = 0`` if either string acts as identity on ``i``;
+* ``ω_i = 2`` if the target carries one of the "good" collisions
+  (X,Y), (Y,X), (X,X), (Y,Y) or (Z,Z) — so the residual single-qubit gate on
+  the target commutes with the interface CNOTs — *and* the two strings carry
+  the same non-identity Pauli on ``i`` (so the basis changes on the control
+  cancel and both interface CNOTs annihilate);
+* ``ω_i = 1`` otherwise (the two interface CNOTs merge into a single
+  CNOT-equivalent two-qubit block).
+
+With different targets no cancellation is counted, matching the paper.
+These weights are exactly what the generalized-TSP edge weights are built
+from; the resulting sequence cost is
+``Σ_k 2 (w_k - 1) - Σ_k savings(P_k, P_{k+1})``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.circuits.pauli_exponential import pauli_exponential_cnot_count
+from repro.operators import PauliString
+
+#: Target-qubit Pauli collisions after which the residual basis-change gate on
+#: the target is X-diagonal (or trivial) and therefore commutes through the
+#: interface CNOTs.
+GOOD_TARGET_COLLISIONS = {
+    ("X", "Y"), ("Y", "X"), ("X", "X"), ("Y", "Y"), ("Z", "Z"),
+}
+
+#: Control-qubit collisions whose basis-change gates cancel exactly.
+MATCHING_CONTROL_COLLISIONS = {("X", "X"), ("Y", "Y"), ("Z", "Z")}
+
+#: A Pauli string together with its chosen target qubit.
+TargetedString = Tuple[PauliString, int]
+
+
+def interface_cnot_reduction(
+    first: PauliString,
+    first_target: int,
+    second: PauliString,
+    second_target: int,
+) -> int:
+    """CNOT gates saved by implementing ``second`` right after ``first``.
+
+    Implements the ω-rule of Sec. III-B.  Both targets must lie in the support
+    of their respective strings; a mismatch in targets yields zero savings.
+    """
+    if first_target not in first.support:
+        raise ValueError(
+            f"target {first_target} not in support of {first.to_label()}"
+        )
+    if second_target not in second.support:
+        raise ValueError(
+            f"target {second_target} not in support of {second.to_label()}"
+        )
+    if first.n_qubits != second.n_qubits:
+        raise ValueError("strings must act on the same register size")
+    if first_target != second_target:
+        return 0
+
+    target = first_target
+    target_collision = (first[target], second[target])
+    target_good = target_collision in GOOD_TARGET_COLLISIONS
+
+    saved = 0
+    for qubit in range(first.n_qubits):
+        if qubit == target:
+            continue
+        collision = (first[qubit], second[qubit])
+        if "I" in collision:
+            continue
+        if target_good and collision in MATCHING_CONTROL_COLLISIONS:
+            saved += 2
+        else:
+            saved += 1
+    # The saving can never exceed the CNOTs present at the interface.
+    interface_cnots = (first.weight - 1) + (second.weight - 1)
+    return min(saved, max(interface_cnots, 0))
+
+
+def pair_cnot_count(
+    first: PauliString,
+    first_target: int,
+    second: PauliString,
+    second_target: int,
+) -> int:
+    """Total CNOTs for the back-to-back pair, after interface cancellation."""
+    return (
+        pauli_exponential_cnot_count(first)
+        + pauli_exponential_cnot_count(second)
+        - interface_cnot_reduction(first, first_target, second, second_target)
+    )
+
+
+def sequence_cnot_count(
+    sequence: Sequence[TargetedString], cyclic: bool = False
+) -> int:
+    """CNOT count of an ordered sequence of targeted Pauli exponentials.
+
+    Parameters
+    ----------
+    sequence:
+        Ordered ``(PauliString, target)`` pairs.
+    cyclic:
+        If True, also credit the cancellation between the last and first
+        element (the GTSP tour cost); circuits are linear, so the default is
+        the path cost.
+    """
+    if not sequence:
+        return 0
+    total = sum(pauli_exponential_cnot_count(string) for string, _ in sequence)
+    for (p1, t1), (p2, t2) in zip(sequence, sequence[1:]):
+        total -= interface_cnot_reduction(p1, t1, p2, t2)
+    if cyclic and len(sequence) > 1:
+        p_last, t_last = sequence[-1]
+        p_first, t_first = sequence[0]
+        total -= interface_cnot_reduction(p_last, t_last, p_first, t_first)
+    return total
+
+
+def best_sequence_from_cycle(
+    cycle: Sequence[TargetedString],
+) -> Tuple[Tuple[TargetedString, ...], int]:
+    """Convert a GTSP cycle into the cheapest linear sequence.
+
+    The GTSP solver returns a closed tour; a circuit is a path, so the tour is
+    cut at the edge with the smallest cancellation.  Returns the rotated
+    sequence and its path CNOT count.
+    """
+    if not cycle:
+        return tuple(), 0
+    n = len(cycle)
+    if n == 1:
+        return tuple(cycle), sequence_cnot_count(cycle)
+    # Find the edge (i, i+1) with the least saving and cut there.
+    worst_edge = 0
+    worst_saving = None
+    for i in range(n):
+        p1, t1 = cycle[i]
+        p2, t2 = cycle[(i + 1) % n]
+        saving = interface_cnot_reduction(p1, t1, p2, t2)
+        if worst_saving is None or saving < worst_saving:
+            worst_saving = saving
+            worst_edge = i
+    rotated = tuple(cycle[(worst_edge + 1 + k) % n] for k in range(n))
+    return rotated, sequence_cnot_count(rotated)

@@ -1,0 +1,61 @@
+"""Linear reversible (CNOT-only) circuits from GF(2) matrices.
+
+Thin circuit-level wrapper around the GF(2) synthesis routines in
+:mod:`repro.transforms.binary`: a Γ matrix becomes an explicit CNOT circuit,
+which is how the one-time basis-change cost of the generalized
+fermion-to-qubit transformation would be paid on hardware (the paper treats Γ
+as a compile-time relabeling, so this cost never enters the reported counts,
+but the circuit is provided for completeness and for simulator-level checks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import cnot
+from repro.transforms.binary import (
+    as_gf2,
+    cnot_network_matrix,
+    synthesize_cnot_network,
+    synthesize_cnot_network_pmh,
+)
+
+
+def linear_reversible_circuit(matrix: np.ndarray, method: str = "best") -> Circuit:
+    """Synthesize a CNOT circuit implementing the invertible GF(2) matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Invertible binary matrix Γ.
+    method:
+        ``"gaussian"`` for plain Gauss-Jordan elimination, ``"pmh"`` for
+        Patel-Markov-Hayes, ``"best"`` (default) for whichever is shorter.
+    """
+    matrix = as_gf2(matrix)
+    n = matrix.shape[0]
+    if method == "gaussian":
+        gates = synthesize_cnot_network(matrix)
+    elif method == "pmh":
+        gates = synthesize_cnot_network_pmh(matrix)
+    elif method == "best":
+        gaussian = synthesize_cnot_network(matrix)
+        pmh = synthesize_cnot_network_pmh(matrix)
+        gates = pmh if len(pmh) < len(gaussian) else gaussian
+    else:
+        raise ValueError(f"unknown synthesis method {method!r}")
+    circuit = Circuit(max(n, 1))
+    for control, target in gates:
+        circuit.append(cnot(control, target))
+    return circuit
+
+
+def circuit_to_matrix(circuit: Circuit) -> np.ndarray:
+    """Recover the GF(2) matrix implemented by a CNOT-only circuit."""
+    pairs = []
+    for gate in circuit.gates:
+        if not gate.is_cnot:
+            raise ValueError("circuit contains non-CNOT gates")
+        pairs.append((gate.control, gate.target))
+    return cnot_network_matrix(circuit.n_qubits, pairs)

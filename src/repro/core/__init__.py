@@ -1,0 +1,74 @@
+"""The paper's primary contribution: advanced compilation of fermionic VQE circuits.
+
+* :mod:`~repro.core.hybrid_encoding` — Sec. III-A (parity-symmetry
+  classification, directed-graph reduction, graph-coloring scheduling);
+* :mod:`~repro.core.advanced_sorting` — Sec. III-B (GTSP over Pauli rotations
+  with per-rotation target qubits);
+* :mod:`~repro.core.gamma_search` — Sec. III-C (block-diagonal GL(N,2)
+  transformation search via simulated annealing);
+* :mod:`~repro.core.pipeline` — the full Fig. 2 flow combining the three.
+"""
+
+from repro.core.advanced_sorting import (
+    SortingResult,
+    advanced_sort,
+    baseline_order_cnot_count,
+    build_sorting_problem,
+    greedy_sort,
+)
+from repro.core.gamma_search import (
+    GammaSearchResult,
+    assemble_gamma,
+    excitation_topology_blocks,
+    search_block_diagonal_gamma,
+)
+from repro.core.hybrid_encoding import (
+    BOSONIC_TERM_CNOT_COST,
+    HYBRID_TERM_CNOT_COST,
+    HybridSchedule,
+    breaks_symmetry,
+    build_symmetry_graph,
+    classify_terms,
+    reduce_graph,
+    schedule_hybrid_terms,
+    symmetric_pair,
+)
+from repro.core.pipeline import (
+    AdvancedCompilationResult,
+    AdvancedCompiler,
+    compile_advanced,
+)
+from repro.core.terms_to_paulis import (
+    PauliRotation,
+    excitation_to_rotations,
+    required_qubits,
+    terms_to_rotations,
+)
+
+__all__ = [
+    "AdvancedCompiler",
+    "AdvancedCompilationResult",
+    "compile_advanced",
+    "HybridSchedule",
+    "classify_terms",
+    "schedule_hybrid_terms",
+    "build_symmetry_graph",
+    "reduce_graph",
+    "breaks_symmetry",
+    "symmetric_pair",
+    "BOSONIC_TERM_CNOT_COST",
+    "HYBRID_TERM_CNOT_COST",
+    "SortingResult",
+    "advanced_sort",
+    "greedy_sort",
+    "baseline_order_cnot_count",
+    "build_sorting_problem",
+    "GammaSearchResult",
+    "search_block_diagonal_gamma",
+    "excitation_topology_blocks",
+    "assemble_gamma",
+    "PauliRotation",
+    "excitation_to_rotations",
+    "terms_to_rotations",
+    "required_qubits",
+]

@@ -1,0 +1,99 @@
+"""Conversion of excitation terms to targeted Pauli-string exponentials.
+
+Both the baseline and the advanced compiler Trotterize each excitation term's
+anti-hermitian generator into a product of Pauli-string exponentials.  This
+module performs the conversion under any fermion-to-qubit transform and keeps
+track of the rotation angles (the variational parameters θ only rescale the
+angles, so the CNOT counts are parameter-independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.operators import PauliString, QubitOperator
+from repro.transforms import FermionQubitTransform, JordanWignerTransform
+from repro.vqe import ExcitationTerm
+
+#: Imaginary-coefficient tolerance when extracting rotation angles.
+ANGLE_TOLERANCE = 1e-10
+
+
+@dataclass(frozen=True)
+class PauliRotation:
+    """A single Pauli rotation ``exp(-i angle/2 · string)`` awaiting a target choice.
+
+    ``term_index`` records which excitation term produced the rotation so that
+    baseline (per-term) orderings can be reconstructed.
+    """
+
+    string: PauliString
+    angle: float
+    term_index: int
+
+    @property
+    def weight(self) -> int:
+        return self.string.weight
+
+    @property
+    def cnot_cost(self) -> int:
+        """CNOT count of the rotation on its own (no cancellation)."""
+        return 0 if self.weight <= 1 else 2 * (self.weight - 1)
+
+
+def excitation_to_rotations(
+    term: ExcitationTerm,
+    transform: FermionQubitTransform,
+    parameter: float = 1.0,
+    term_index: int = 0,
+) -> List[PauliRotation]:
+    """Expand ``exp(θ (T - T†))`` into Pauli rotations under ``transform``.
+
+    The anti-hermitian generator maps to a sum ``Σ_k i c_k P_k`` with real
+    ``c_k``; each summand contributes the rotation ``exp(-i (-2 c_k)/2 P_k)``.
+    The returned rotations all mutually commute for a single excitation term,
+    so their relative order is a pure compilation degree of freedom.
+    """
+    generator = term.generator(parameter)
+    qubit_generator = transform.transform(generator)
+    rotations: List[PauliRotation] = []
+    for string, coefficient in sorted(qubit_generator.terms.items(), key=lambda kv: kv[0]):
+        if string.is_identity:
+            continue
+        if abs(coefficient.real) > ANGLE_TOLERANCE:
+            raise ValueError(
+                f"generator of {term} produced a non-anti-hermitian coefficient {coefficient}"
+            )
+        angle = -2.0 * float(coefficient.imag)
+        if abs(angle) <= ANGLE_TOLERANCE:
+            continue
+        rotations.append(PauliRotation(string=string, angle=angle, term_index=term_index))
+    return rotations
+
+
+def terms_to_rotations(
+    terms: Sequence[ExcitationTerm],
+    transform: FermionQubitTransform,
+    parameters: Optional[Sequence[float]] = None,
+) -> List[PauliRotation]:
+    """Expand an ordered list of excitation terms into Pauli rotations."""
+    if parameters is None:
+        parameters = [1.0] * len(terms)
+    if len(parameters) != len(terms):
+        raise ValueError("one parameter per excitation term is required")
+    rotations: List[PauliRotation] = []
+    for index, (term, parameter) in enumerate(zip(terms, parameters)):
+        rotations.extend(
+            excitation_to_rotations(term, transform, parameter=parameter, term_index=index)
+        )
+    return rotations
+
+
+def required_qubits(terms: Sequence[ExcitationTerm]) -> int:
+    """Smallest register size covering every term."""
+    if not terms:
+        return 0
+    return max(term.max_spin_orbital() for term in terms) + 1

@@ -1,0 +1,25 @@
+"""Operator algebra substrate: fermionic ladder operators and Pauli/qubit operators.
+
+This subpackage provides the second-quantized and qubit-operator data
+structures that every other layer of the library builds on:
+
+* :class:`~repro.operators.fermion.FermionOperator` — sums of products of
+  fermionic creation/annihilation operators with complex coefficients,
+  supporting normal ordering and hermitian conjugation.
+* :class:`~repro.operators.pauli.PauliString` — an immutable n-qubit Pauli
+  string (tensor product of I/X/Y/Z) with multiplication, commutation and
+  sparse-matrix export.
+* :class:`~repro.operators.qubit.QubitOperator` — complex linear combinations
+  of Pauli strings with full algebra.
+"""
+
+from repro.operators.fermion import FermionOperator, FermionTerm
+from repro.operators.pauli import PauliString
+from repro.operators.qubit import QubitOperator
+
+__all__ = [
+    "FermionOperator",
+    "FermionTerm",
+    "PauliString",
+    "QubitOperator",
+]

@@ -1,0 +1,249 @@
+"""Immutable n-qubit Pauli strings.
+
+A :class:`PauliString` is a tensor product of single-qubit Pauli matrices
+``I, X, Y, Z`` on a fixed number of qubits.  It is the basic object the
+paper's circuit synthesis and sorting techniques operate on: each Trotterized
+summand of a fermionic excitation term becomes ``exp(-i θ/2 P)`` for a Pauli
+string ``P``.
+
+Pauli strings are hashable and totally ordered, so they can be used as
+dictionary keys inside :class:`~repro.operators.qubit.QubitOperator` and
+sorted deterministically when building circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+#: The four single-qubit Pauli labels in canonical order.
+PAULI_LABELS = ("I", "X", "Y", "Z")
+
+#: Single-qubit Pauli matrices used when exporting to dense/sparse form.
+PAULI_MATRICES = {
+    "I": np.array([[1.0, 0.0], [0.0, 1.0]], dtype=complex),
+    "X": np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex),
+    "Y": np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex),
+    "Z": np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex),
+}
+
+#: Multiplication table: (left, right) -> (phase, product_label).
+_PAULI_PRODUCTS: Dict[Tuple[str, str], Tuple[complex, str]] = {
+    ("I", "I"): (1, "I"), ("I", "X"): (1, "X"), ("I", "Y"): (1, "Y"), ("I", "Z"): (1, "Z"),
+    ("X", "I"): (1, "X"), ("X", "X"): (1, "I"), ("X", "Y"): (1j, "Z"), ("X", "Z"): (-1j, "Y"),
+    ("Y", "I"): (1, "Y"), ("Y", "X"): (-1j, "Z"), ("Y", "Y"): (1, "I"), ("Y", "Z"): (1j, "X"),
+    ("Z", "I"): (1, "Z"), ("Z", "X"): (1j, "Y"), ("Z", "Y"): (-1j, "X"), ("Z", "Z"): (1, "I"),
+}
+
+
+class PauliString:
+    """An immutable Pauli string on ``n_qubits`` qubits.
+
+    Parameters
+    ----------
+    labels:
+        Either a string such as ``"IXYZ"`` or a sequence of single-character
+        labels.  Qubit 0 corresponds to the first character.
+    """
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, labels: Sequence[str] | str):
+        labels = tuple(labels)
+        for label in labels:
+            if label not in PAULI_LABELS:
+                raise ValueError(f"invalid Pauli label {label!r}; expected one of {PAULI_LABELS}")
+        self._labels: Tuple[str, ...] = labels
+        self._hash = hash(labels)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n_qubits: int) -> "PauliString":
+        """Return the identity string on ``n_qubits`` qubits."""
+        return cls("I" * n_qubits)
+
+    @classmethod
+    def from_dict(cls, n_qubits: int, paulis: Dict[int, str]) -> "PauliString":
+        """Build a string from a ``{qubit: label}`` mapping (missing qubits are I)."""
+        labels = ["I"] * n_qubits
+        for qubit, label in paulis.items():
+            if not 0 <= qubit < n_qubits:
+                raise ValueError(f"qubit index {qubit} out of range for {n_qubits} qubits")
+            labels[qubit] = label
+        return cls(labels)
+
+    @classmethod
+    def single(cls, n_qubits: int, qubit: int, label: str) -> "PauliString":
+        """Return a weight-one string with ``label`` on ``qubit``."""
+        return cls.from_dict(n_qubits, {qubit: label})
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_qubits(self) -> int:
+        """Number of qubits the string is defined on."""
+        return len(self._labels)
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Tuple of per-qubit labels, qubit 0 first."""
+        return self._labels
+
+    def __getitem__(self, qubit: int) -> str:
+        return self._labels[qubit]
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self):
+        return iter(self._labels)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity factors (the string's Pauli weight)."""
+        return sum(1 for label in self._labels if label != "I")
+
+    @property
+    def support(self) -> Tuple[int, ...]:
+        """Qubits on which the string acts non-trivially, ascending."""
+        return tuple(i for i, label in enumerate(self._labels) if label != "I")
+
+    @property
+    def is_identity(self) -> bool:
+        """True if every factor is the identity."""
+        return self.weight == 0
+
+    def to_label(self) -> str:
+        """Return the string form, e.g. ``"IXYZ"``."""
+        return "".join(self._labels)
+
+    # ------------------------------------------------------------------
+    # Algebraic operations
+    # ------------------------------------------------------------------
+    def multiply(self, other: "PauliString") -> Tuple[complex, "PauliString"]:
+        """Multiply two strings, returning ``(phase, product)`` with product a PauliString."""
+        if self.n_qubits != other.n_qubits:
+            raise ValueError("cannot multiply Pauli strings on different qubit counts")
+        phase: complex = 1.0
+        labels = []
+        for a, b in zip(self._labels, other._labels):
+            factor, product = _PAULI_PRODUCTS[(a, b)]
+            phase *= factor
+            labels.append(product)
+        return phase, PauliString(labels)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True if the two strings commute as operators."""
+        if self.n_qubits != other.n_qubits:
+            raise ValueError("cannot compare Pauli strings on different qubit counts")
+        anticommuting = sum(
+            1
+            for a, b in zip(self._labels, other._labels)
+            if a != "I" and b != "I" and a != b
+        )
+        return anticommuting % 2 == 0
+
+    def overlap(self, other: "PauliString") -> Tuple[int, ...]:
+        """Qubits where both strings act non-trivially."""
+        return tuple(
+            i
+            for i, (a, b) in enumerate(zip(self._labels, other._labels))
+            if a != "I" and b != "I"
+        )
+
+    # ------------------------------------------------------------------
+    # Symplectic (binary) representation
+    # ------------------------------------------------------------------
+    def to_symplectic(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the binary ``(x, z)`` vectors of the string.
+
+        ``x[i] = 1`` if qubit ``i`` carries X or Y; ``z[i] = 1`` if it carries
+        Z or Y.  This representation is what the Clifford (CNOT-circuit)
+        conjugation in the generalized fermion-to-qubit transform acts on.
+        """
+        x = np.zeros(self.n_qubits, dtype=np.uint8)
+        z = np.zeros(self.n_qubits, dtype=np.uint8)
+        for i, label in enumerate(self._labels):
+            if label in ("X", "Y"):
+                x[i] = 1
+            if label in ("Z", "Y"):
+                z[i] = 1
+        return x, z
+
+    @classmethod
+    def from_symplectic(cls, x: Sequence[int], z: Sequence[int]) -> "PauliString":
+        """Build a string from binary ``(x, z)`` vectors (phase ignored)."""
+        if len(x) != len(z):
+            raise ValueError("x and z vectors must have the same length")
+        labels = []
+        for xi, zi in zip(x, z):
+            xi, zi = int(xi) % 2, int(zi) % 2
+            if xi and zi:
+                labels.append("Y")
+            elif xi:
+                labels.append("X")
+            elif zi:
+                labels.append("Z")
+            else:
+                labels.append("I")
+        return cls(labels)
+
+    # ------------------------------------------------------------------
+    # Matrix export
+    # ------------------------------------------------------------------
+    def to_sparse(self) -> sparse.csr_matrix:
+        """Return the ``2**n x 2**n`` sparse matrix of the string.
+
+        Qubit 0 is the most significant bit of the computational basis index,
+        matching the little-endian-on-paper / big-endian-in-binary convention
+        used throughout the simulator subpackage.
+        """
+        matrix = sparse.identity(1, format="csr", dtype=complex)
+        for label in self._labels:
+            matrix = sparse.kron(matrix, sparse.csr_matrix(PAULI_MATRICES[label]), format="csr")
+        return matrix
+
+    def to_dense(self) -> np.ndarray:
+        """Return the dense matrix of the string (small systems only)."""
+        return self.to_sparse().toarray()
+
+    # ------------------------------------------------------------------
+    # Manipulation helpers
+    # ------------------------------------------------------------------
+    def with_label(self, qubit: int, label: str) -> "PauliString":
+        """Return a copy with the factor on ``qubit`` replaced by ``label``."""
+        labels = list(self._labels)
+        labels[qubit] = label
+        return PauliString(labels)
+
+    def restricted_to(self, qubits: Sequence[int]) -> "PauliString":
+        """Return the string restricted to the given ordered subset of qubits."""
+        return PauliString([self._labels[q] for q in qubits])
+
+    def padded(self, n_qubits: int) -> "PauliString":
+        """Return the string extended with identities up to ``n_qubits`` qubits."""
+        if n_qubits < self.n_qubits:
+            raise ValueError("cannot pad to fewer qubits")
+        return PauliString(self._labels + ("I",) * (n_qubits - self.n_qubits))
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __lt__(self, other: "PauliString") -> bool:
+        return self._labels < other._labels
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"PauliString('{self.to_label()}')"

@@ -1,0 +1,48 @@
+"""Classical optimization solvers backing the compilation pipeline.
+
+* :func:`~repro.optimizers.simulated_annealing.simulated_annealing` — the Γ
+  search of Sec. III-C.
+* :func:`~repro.optimizers.graph_coloring.randomized_greedy_coloring` — the
+  GVCP solver of Sec. III-A / Sec. IV.
+* :func:`~repro.optimizers.gtsp.solve_gtsp` — the genetic-algorithm GTSP
+  solver of Sec. III-B / Sec. IV.
+* :func:`~repro.optimizers.particle_swarm.binary_particle_swarm` — the
+  baseline's PSO search (reproduced for the GT column and ablations).
+* :mod:`~repro.optimizers.tsp` — nearest-neighbor/2-opt heuristics used by the
+  baseline orderings.
+"""
+
+from repro.optimizers.graph_coloring import (
+    ColoringResult,
+    greedy_coloring,
+    is_proper_coloring,
+    randomized_greedy_coloring,
+)
+from repro.optimizers.gtsp import GtspProblem, GtspResult, brute_force_gtsp, solve_gtsp
+from repro.optimizers.particle_swarm import PsoResult, binary_particle_swarm
+from repro.optimizers.simulated_annealing import (
+    AnnealingResult,
+    AnnealingSchedule,
+    simulated_annealing,
+)
+from repro.optimizers.tsp import nearest_neighbor_tour, solve_tsp, tour_length, two_opt
+
+__all__ = [
+    "AnnealingResult",
+    "AnnealingSchedule",
+    "simulated_annealing",
+    "ColoringResult",
+    "greedy_coloring",
+    "randomized_greedy_coloring",
+    "is_proper_coloring",
+    "GtspProblem",
+    "GtspResult",
+    "solve_gtsp",
+    "brute_force_gtsp",
+    "PsoResult",
+    "binary_particle_swarm",
+    "nearest_neighbor_tour",
+    "two_opt",
+    "solve_tsp",
+    "tour_length",
+]

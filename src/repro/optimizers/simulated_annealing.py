@@ -1,0 +1,127 @@
+"""Generic simulated annealing.
+
+Section III-C of the paper replaces the baseline's particle-swarm search over
+fermion-to-qubit transformation matrices with simulated annealing (SA),
+arguing that PSO "tends to get stuck in local minima".  The SA here is a
+plain Metropolis-Hastings sampler with a geometric cooling schedule; the Γ
+search (and any other discrete search in the library) plugs in its own state
+representation through the ``neighbor`` and ``energy`` callbacks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+import numpy as np
+
+State = TypeVar("State")
+
+
+@dataclass
+class AnnealingSchedule:
+    """Cooling schedule for simulated annealing.
+
+    Parameters
+    ----------
+    initial_temperature:
+        Temperature at the first step (in units of the energy function).
+    final_temperature:
+        Temperature at the last step; must be positive.
+    n_steps:
+        Total number of proposed moves.
+    """
+
+    initial_temperature: float = 2.0
+    final_temperature: float = 1e-3
+    n_steps: int = 2000
+
+    def __post_init__(self):
+        if self.initial_temperature <= 0 or self.final_temperature <= 0:
+            raise ValueError("temperatures must be positive")
+        if self.final_temperature > self.initial_temperature:
+            raise ValueError("final temperature must not exceed the initial temperature")
+        if self.n_steps < 1:
+            raise ValueError("n_steps must be at least 1")
+
+    def temperature(self, step: int) -> float:
+        """Geometric interpolation between the initial and final temperatures."""
+        if self.n_steps == 1:
+            return self.initial_temperature
+        fraction = step / (self.n_steps - 1)
+        ratio = self.final_temperature / self.initial_temperature
+        return self.initial_temperature * ratio ** fraction
+
+
+@dataclass
+class AnnealingResult(Generic[State]):
+    """Outcome of a simulated-annealing run."""
+
+    best_state: State
+    best_energy: float
+    n_accepted: int
+    n_steps: int
+    energy_trace: List[float] = field(default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.n_accepted / self.n_steps if self.n_steps else 0.0
+
+
+def simulated_annealing(
+    initial_state: State,
+    energy: Callable[[State], float],
+    neighbor: Callable[[State, np.random.Generator], State],
+    schedule: Optional[AnnealingSchedule] = None,
+    rng: Optional[np.random.Generator] = None,
+    record_trace: bool = False,
+) -> AnnealingResult[State]:
+    """Minimize ``energy`` over a discrete space with Metropolis-Hastings moves.
+
+    Parameters
+    ----------
+    initial_state:
+        Starting point of the walk.
+    energy:
+        Function to minimize.
+    neighbor:
+        Proposal: returns a new candidate state given the current state and a
+        random generator.  States must be treated as immutable (the proposal
+        must not mutate its argument).
+    schedule:
+        Cooling schedule; defaults to :class:`AnnealingSchedule` defaults.
+    rng:
+        Random generator; defaults to a fresh unseeded generator.
+    record_trace:
+        If True, the energy after every step is recorded (useful for plots).
+    """
+    schedule = schedule or AnnealingSchedule()
+    rng = rng or np.random.default_rng()
+
+    current_state = initial_state
+    current_energy = float(energy(current_state))
+    best_state, best_energy = current_state, current_energy
+    n_accepted = 0
+    trace: List[float] = []
+
+    for step in range(schedule.n_steps):
+        temperature = schedule.temperature(step)
+        candidate = neighbor(current_state, rng)
+        candidate_energy = float(energy(candidate))
+        delta = candidate_energy - current_energy
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current_state, current_energy = candidate, candidate_energy
+            n_accepted += 1
+            if current_energy < best_energy:
+                best_state, best_energy = current_state, current_energy
+        if record_trace:
+            trace.append(current_energy)
+
+    return AnnealingResult(
+        best_state=best_state,
+        best_energy=best_energy,
+        n_accepted=n_accepted,
+        n_steps=schedule.n_steps,
+        energy_trace=trace,
+    )

@@ -1,0 +1,39 @@
+"""Exact statevector simulation and FCI reference energies."""
+
+from repro.simulator.exact import (
+    CHEMICAL_ACCURACY,
+    GroundStateResult,
+    fci_ground_state_energy,
+    ground_state,
+    is_chemically_accurate,
+)
+from repro.simulator.statevector import (
+    apply_exponential,
+    basis_state,
+    expectation_value,
+    fermion_sparse,
+    hartree_fock_state,
+    normalize,
+    number_operator_sparse,
+    operator_sparse,
+    particle_number,
+    state_fidelity,
+)
+
+__all__ = [
+    "CHEMICAL_ACCURACY",
+    "GroundStateResult",
+    "ground_state",
+    "fci_ground_state_energy",
+    "is_chemically_accurate",
+    "basis_state",
+    "hartree_fock_state",
+    "expectation_value",
+    "apply_exponential",
+    "fermion_sparse",
+    "normalize",
+    "number_operator_sparse",
+    "particle_number",
+    "operator_sparse",
+    "state_fidelity",
+]

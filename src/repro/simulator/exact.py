@@ -1,0 +1,97 @@
+"""Exact (full configuration interaction) reference energies.
+
+Sparse diagonalization of the qubit Hamiltonian provides the exact ground
+state against which VQE convergence (Fig. 5 of the paper, chemical accuracy
+threshold) is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import eigsh
+
+from repro.chemistry import MolecularHamiltonian
+from repro.operators import QubitOperator
+from repro.simulator.statevector import number_operator_sparse, operator_sparse
+from repro.transforms import jordan_wigner
+
+#: Chemical accuracy threshold in Hartree (1 kcal/mol).
+CHEMICAL_ACCURACY = 1.6e-3
+
+
+@dataclass
+class GroundStateResult:
+    """Ground-state energy and eigenvector of a (possibly sector-projected) Hamiltonian."""
+
+    energy: float
+    state: np.ndarray
+
+
+def ground_state(
+    operator: Union[QubitOperator, sparse.spmatrix],
+    n_particles: Optional[int] = None,
+    n_qubits: Optional[int] = None,
+) -> GroundStateResult:
+    """Lowest eigenpair of a qubit Hamiltonian, optionally in a particle-number sector.
+
+    Parameters
+    ----------
+    operator:
+        Hermitian qubit operator or sparse matrix.
+    n_particles:
+        If given, the Hamiltonian is restricted to the subspace with that
+        total Jordan-Wigner particle number before diagonalization.
+    n_qubits:
+        Register size; required when ``operator`` is a raw sparse matrix and a
+        particle sector is requested.
+    """
+    if isinstance(operator, QubitOperator):
+        n_qubits = operator.n_qubits
+    matrix = operator_sparse(operator)
+    dim = matrix.shape[0]
+
+    if n_particles is not None:
+        if n_qubits is None:
+            n_qubits = int(np.log2(dim))
+        occupations = np.array(
+            [bin(index).count("1") for index in range(dim)], dtype=int
+        )
+        sector = np.where(occupations == n_particles)[0]
+        if sector.size == 0:
+            raise ValueError(f"no basis states with {n_particles} particles")
+        matrix = matrix[np.ix_(sector, sector)]
+        energy, vectors = _lowest_eigenpair(matrix)
+        state = np.zeros(dim, dtype=complex)
+        state[sector] = vectors
+        return GroundStateResult(energy=energy, state=state)
+
+    energy, vector = _lowest_eigenpair(matrix)
+    return GroundStateResult(energy=energy, state=vector)
+
+
+def _lowest_eigenpair(matrix: sparse.spmatrix) -> Tuple[float, np.ndarray]:
+    dim = matrix.shape[0]
+    if dim <= 64:
+        dense = matrix.toarray()
+        eigenvalues, eigenvectors = np.linalg.eigh(dense)
+        return float(eigenvalues[0]), eigenvectors[:, 0]
+    eigenvalues, eigenvectors = eigsh(matrix.tocsc(), k=1, which="SA")
+    return float(eigenvalues[0]), eigenvectors[:, 0]
+
+
+def fci_ground_state_energy(hamiltonian: MolecularHamiltonian) -> float:
+    """Exact ground-state energy of a molecular Hamiltonian in its particle sector."""
+    qubit_hamiltonian = jordan_wigner(
+        hamiltonian.to_fermion_operator(), n_modes=hamiltonian.n_spin_orbitals
+    )
+    result = ground_state(qubit_hamiltonian, n_particles=hamiltonian.n_electrons)
+    return result.energy
+
+
+def is_chemically_accurate(energy: float, reference: float) -> bool:
+    """True if ``energy`` is within chemical accuracy of ``reference``."""
+    return abs(energy - reference) <= CHEMICAL_ACCURACY

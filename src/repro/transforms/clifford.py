@@ -1,0 +1,75 @@
+"""Conjugation of Pauli operators by CNOT (linear reversible) Clifford circuits.
+
+The paper's generalized fermion-to-qubit transformation is defined by a binary
+invertible matrix ``Γ``.  The corresponding unitary ``U_Γ`` is a CNOT-only
+circuit, a Clifford operation, so conjugation maps every Pauli string to
+another Pauli string (with a ±1 sign).  This module implements that
+conjugation exactly, both for single CNOT gates and full CNOT networks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.operators import PauliString, QubitOperator
+from repro.transforms.binary import CnotPair
+
+#: Conjugation table for a single CNOT: (control_label, target_label) ->
+#: (sign, new_control_label, new_target_label).  Derived from the generator
+#: images X_c -> X_c X_t, Z_c -> Z_c, X_t -> X_t, Z_t -> Z_c Z_t.
+_CNOT_CONJUGATION = {
+    ("I", "I"): (1, "I", "I"),
+    ("I", "X"): (1, "I", "X"),
+    ("I", "Y"): (1, "Z", "Y"),
+    ("I", "Z"): (1, "Z", "Z"),
+    ("X", "I"): (1, "X", "X"),
+    ("X", "X"): (1, "X", "I"),
+    ("X", "Y"): (1, "Y", "Z"),
+    ("X", "Z"): (-1, "Y", "Y"),
+    ("Y", "I"): (1, "Y", "X"),
+    ("Y", "X"): (1, "Y", "I"),
+    ("Y", "Y"): (-1, "X", "Z"),
+    ("Y", "Z"): (1, "X", "Y"),
+    ("Z", "I"): (1, "Z", "I"),
+    ("Z", "X"): (1, "Z", "X"),
+    ("Z", "Y"): (1, "I", "Y"),
+    ("Z", "Z"): (1, "I", "Z"),
+}
+
+
+def conjugate_pauli_by_cnot(
+    string: PauliString, control: int, target: int
+) -> Tuple[int, PauliString]:
+    """Return ``(sign, CNOT P CNOT)`` for a single CNOT conjugation."""
+    if control == target:
+        raise ValueError("CNOT control and target must differ")
+    sign, new_control, new_target = _CNOT_CONJUGATION[(string[control], string[target])]
+    new_string = string.with_label(control, new_control).with_label(target, new_target)
+    return sign, new_string
+
+
+def conjugate_pauli_by_cnot_network(
+    string: PauliString, cnots: Sequence[CnotPair]
+) -> Tuple[int, PauliString]:
+    """Conjugate a Pauli string by a CNOT network ``U = G_k ... G_1``.
+
+    The gate list is given in application (circuit) order, i.e. ``cnots[0]``
+    acts first on states.  Conjugation therefore proceeds innermost-first:
+    ``U P U† = G_k (... (G_1 P G_1†) ...) G_k†``.
+    """
+    sign = 1
+    for control, target in cnots:
+        step_sign, string = conjugate_pauli_by_cnot(string, control, target)
+        sign *= step_sign
+    return sign, string
+
+
+def conjugate_by_cnot_network(
+    operator: QubitOperator, cnots: Sequence[CnotPair]
+) -> QubitOperator:
+    """Conjugate every term of a :class:`QubitOperator` by a CNOT network."""
+    result = QubitOperator.zero(operator.n_qubits)
+    for string, coefficient in operator.terms.items():
+        sign, new_string = conjugate_pauli_by_cnot_network(string, cnots)
+        result += QubitOperator.from_pauli_string(new_string, sign * coefficient)
+    return result.compress()

@@ -1,0 +1,40 @@
+"""The Jordan-Wigner fermion-to-qubit transformation.
+
+Convention: mode ``j`` maps to qubit ``j`` and
+
+``a_j = Z_0 ⊗ ... ⊗ Z_{j-1} ⊗ σ⁻_j``   with   ``σ⁻ = (X + iY) / 2``.
+
+The Z string enforces the fermionic anti-commutation relations between
+operators on different modes.
+"""
+
+from __future__ import annotations
+
+from repro.operators import FermionOperator, PauliString, QubitOperator
+from repro.transforms.base import FermionQubitTransform
+
+
+class JordanWignerTransform(FermionQubitTransform):
+    """Jordan-Wigner transformation on ``n_modes`` spin orbitals."""
+
+    def annihilation_operator(self, mode: int) -> QubitOperator:
+        if not 0 <= mode < self.n_modes:
+            raise ValueError(f"mode {mode} out of range for {self.n_modes} modes")
+        n = self.n_qubits
+        z_chain = {j: "Z" for j in range(mode)}
+        x_string = PauliString.from_dict(n, {**z_chain, mode: "X"})
+        y_string = PauliString.from_dict(n, {**z_chain, mode: "Y"})
+        return QubitOperator(n, {x_string: 0.5, y_string: 0.5j})
+
+
+def jordan_wigner(operator: FermionOperator, n_modes: int | None = None) -> QubitOperator:
+    """Transform ``operator`` under Jordan-Wigner on ``n_modes`` modes.
+
+    If ``n_modes`` is omitted, the smallest register containing every mode the
+    operator touches is used.
+    """
+    if n_modes is None:
+        n_modes = operator.max_orbital() + 1
+        if n_modes <= 0:
+            raise ValueError("cannot infer the mode count of a constant operator; pass n_modes")
+    return JordanWignerTransform(n_modes).transform(operator)

@@ -1,0 +1,74 @@
+"""Ternary-tree fermion-to-qubit transformation (Jiang, Kalev, Mruczkiewicz, Neven).
+
+The ternary-tree mapping assigns one Majorana operator to each root-to-vacancy
+path of a ternary tree whose nodes are qubits.  With ``n`` qubits the tree has
+``2n + 1`` vacancies, yielding ``2n + 1`` mutually anti-commuting Pauli
+strings of weight ``O(log3 n)`` — asymptotically optimal average weight.  The
+paper cites this transform as the asymptotic optimum that its Γ-search does
+not attempt to beat, so we provide it both for completeness and as an extra
+baseline in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.operators import PauliString, QubitOperator
+from repro.transforms.base import FermionQubitTransform
+
+#: Axis labels attached to the three child slots of every tree node.
+_CHILD_AXES = ("X", "Y", "Z")
+
+
+def _build_paths(n_qubits: int) -> List[Dict[int, str]]:
+    """Enumerate the root-to-vacancy Pauli paths of the balanced ternary tree.
+
+    Node ``i`` has children ``3i + 1``, ``3i + 2`` and ``3i + 3``; a child
+    index ``>= n_qubits`` is a vacancy.  Each vacancy contributes the Pauli
+    string accumulated along the path from the root, ending with the axis of
+    the vacant slot.  Vacancies are enumerated depth-first so the ordering is
+    deterministic.
+    """
+    paths: List[Dict[int, str]] = []
+
+    def visit(node: int, prefix: Dict[int, str]) -> None:
+        for axis_index, axis in enumerate(_CHILD_AXES):
+            child = 3 * node + axis_index + 1
+            extended = dict(prefix)
+            extended[node] = axis
+            if child < n_qubits:
+                visit(child, extended)
+            else:
+                paths.append(extended)
+
+    visit(0, {})
+    return paths
+
+
+class TernaryTreeTransform(FermionQubitTransform):
+    """Fermion-to-qubit transform based on a balanced ternary tree of qubits."""
+
+    def __init__(self, n_modes: int):
+        super().__init__(n_modes)
+        paths = _build_paths(self.n_qubits)
+        if len(paths) != 2 * self.n_qubits + 1:
+            raise RuntimeError(
+                f"expected {2 * self.n_qubits + 1} vacancy paths, found {len(paths)}"
+            )
+        self._majoranas: List[PauliString] = [
+            PauliString.from_dict(self.n_qubits, path) for path in paths
+        ]
+
+    def majorana_operator(self, index: int) -> PauliString:
+        """Pauli string of the Majorana operator ``γ_index`` (0-based)."""
+        return self._majoranas[index]
+
+    def annihilation_operator(self, mode: int) -> QubitOperator:
+        if not 0 <= mode < self.n_modes:
+            raise ValueError(f"mode {mode} out of range for {self.n_modes} modes")
+        # a_k = (γ_{2k} + i γ_{2k+1}) / 2
+        even = self._majoranas[2 * mode]
+        odd = self._majoranas[2 * mode + 1]
+        return QubitOperator(
+            self.n_qubits, {even: 0.5}
+        ) + QubitOperator(self.n_qubits, {odd: 0.5j})

@@ -1,0 +1,26 @@
+"""VQE layer: UCCSD excitation terms, HMP2 ordering and the adaptive loop of Fig. 1."""
+
+from repro.vqe.hmp2 import hmp2_ranked_terms, select_ansatz_terms
+from repro.vqe.uccsd import ExcitationTerm, is_spin_pair, uccsd_excitation_terms
+from repro.vqe.vqe import (
+    AdaptiveVqeResult,
+    UccAnsatz,
+    VqeResult,
+    adaptive_vqe,
+    hamiltonian_sparse_matrix,
+    optimize_ansatz,
+)
+
+__all__ = [
+    "ExcitationTerm",
+    "is_spin_pair",
+    "uccsd_excitation_terms",
+    "hmp2_ranked_terms",
+    "select_ansatz_terms",
+    "UccAnsatz",
+    "VqeResult",
+    "AdaptiveVqeResult",
+    "optimize_ansatz",
+    "adaptive_vqe",
+    "hamiltonian_sparse_matrix",
+]

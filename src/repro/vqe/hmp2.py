@@ -1,0 +1,88 @@
+"""HMP2-style selection and ordering of UCCSD excitation terms.
+
+Box 2 of Fig. 1 in the paper (and reference [9]) uses second-order
+perturbation theory both to improve the energy estimate and to decide which
+excitation term to add next to the ansatz.  The classical part of that
+procedure is reproduced here: double excitations are ranked by the magnitude
+of their MP2 pair-energy contribution, and single excitations (which vanish
+at second order for a Hartree-Fock reference, by Brillouin's theorem) are
+ranked afterwards by the magnitude of the corresponding Fock-like one-body
+coupling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.chemistry import MolecularHamiltonian
+from repro.chemistry.mp2 import ranked_double_excitations
+from repro.vqe.uccsd import ExcitationTerm, uccsd_excitation_terms
+
+
+def hmp2_ranked_terms(
+    hamiltonian: MolecularHamiltonian,
+    include_singles: bool = True,
+    spin_preserving: bool = True,
+) -> List[ExcitationTerm]:
+    """All UCCSD excitation terms ranked by decreasing HMP2 importance.
+
+    Doubles come first, ordered by MP2 pair-energy magnitude; singles follow,
+    ordered by the one-body coupling between the occupied and virtual spin
+    orbitals (typically tiny for a converged Hartree-Fock reference).
+    """
+    n_spin = hamiltonian.n_spin_orbitals
+    n_electrons = hamiltonian.n_electrons
+
+    terms: List[ExcitationTerm] = []
+    for amplitude in ranked_double_excitations(hamiltonian):
+        i, j = amplitude.occupied
+        a, b = amplitude.virtual
+        if spin_preserving and (i % 2 + j % 2) != (a % 2 + b % 2):
+            continue
+        terms.append(
+            ExcitationTerm(
+                creation=(a, b), annihilation=(i, j), importance=amplitude.importance
+            )
+        )
+
+    if include_singles:
+        singles: List[ExcitationTerm] = []
+        for i in range(n_electrons):
+            for a in range(n_electrons, n_spin):
+                if spin_preserving and i % 2 != a % 2:
+                    continue
+                coupling = abs(float(hamiltonian.one_body[a, i]))
+                singles.append(
+                    ExcitationTerm(creation=(a,), annihilation=(i,), importance=coupling)
+                )
+        singles.sort(key=lambda term: -term.importance)
+        terms.extend(singles)
+
+    # Doubles whose MP2 contribution vanishes by symmetry are appended last
+    # (importance zero) so the full UCCSD pool remains reachable.
+    seen = {(term.creation, term.annihilation) for term in terms}
+    for term in uccsd_excitation_terms(
+        n_spin, n_electrons, include_singles=False, spin_preserving=spin_preserving
+    ):
+        if (term.creation, term.annihilation) not in seen:
+            terms.append(term)
+    return terms
+
+
+def select_ansatz_terms(
+    hamiltonian: MolecularHamiltonian,
+    n_terms: Optional[int] = None,
+    include_singles: bool = True,
+) -> List[ExcitationTerm]:
+    """The ``n_terms`` most important excitation terms in HMP2 order.
+
+    This is the term list the compilation pipeline (Fig. 2) consumes: the
+    Table-I rows labelled ``H2O(M)`` correspond to the first ``M`` terms of
+    this ordering for the water molecule.
+    """
+    ranked = hmp2_ranked_terms(hamiltonian, include_singles=include_singles)
+    if n_terms is None:
+        return ranked
+    if n_terms < 0:
+        raise ValueError("n_terms must be non-negative")
+    return ranked[:n_terms]

@@ -1,0 +1,81 @@
+"""Hartree-Fock validation against literature STO-3G energies."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import make_molecule, run_rhf
+from repro.chemistry.basis import Molecule
+
+
+class TestRhfEnergies:
+    """Total RHF/STO-3G energies compared to standard literature values (Hartree)."""
+
+    @pytest.mark.parametrize(
+        "name, reference, tolerance",
+        [
+            ("H2", -1.1167, 2e-3),
+            ("LiH", -7.8620, 5e-3),
+            ("HF", -98.5708, 1e-2),
+            ("H2O", -74.9629, 1e-2),
+            ("BeH2", -15.5603, 1e-2),
+        ],
+    )
+    def test_total_energy(self, name, reference, tolerance):
+        result = run_rhf(make_molecule(name))
+        assert result.converged
+        assert abs(result.energy - reference) < tolerance
+
+    def test_ammonia_energy(self):
+        result = run_rhf(make_molecule("NH3"))
+        assert result.converged
+        assert abs(result.energy - (-55.454)) < 2e-2
+
+
+class TestScfProperties:
+    def test_orbital_count_and_occupation(self):
+        result = run_rhf(make_molecule("H2O"))
+        assert result.n_orbitals == 7
+        assert result.n_occupied == 5
+
+    def test_electronic_energy_excludes_nuclear_repulsion(self):
+        result = run_rhf(make_molecule("H2"))
+        assert np.isclose(
+            result.electronic_energy + result.molecule.nuclear_repulsion, result.energy
+        )
+
+    def test_density_matrix_trace_counts_electrons(self):
+        result = run_rhf(make_molecule("LiH"))
+        assert np.isclose(np.trace(result.density_matrix @ result.overlap), 4.0, atol=1e-6)
+
+    def test_orbital_energies_sorted(self):
+        result = run_rhf(make_molecule("H2O"))
+        assert np.all(np.diff(result.orbital_energies) >= -1e-10)
+
+    def test_aufbau_gap(self):
+        result = run_rhf(make_molecule("H2"))
+        homo = result.orbital_energies[result.n_occupied - 1]
+        lumo = result.orbital_energies[result.n_occupied]
+        assert lumo > homo
+
+    def test_orbitals_orthonormal_in_overlap_metric(self):
+        result = run_rhf(make_molecule("LiH"))
+        c, s = result.orbital_coefficients, result.overlap
+        assert np.allclose(c.T @ s @ c, np.eye(result.n_orbitals), atol=1e-8)
+
+
+class TestValidation:
+    def test_odd_electron_count_rejected(self):
+        cation = Molecule.from_angstrom(
+            [("H", (0, 0, 0)), ("H", (0, 0, 0.74))], charge=1
+        )
+        with pytest.raises(ValueError):
+            run_rhf(cation)
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            run_rhf(make_molecule("H2"), damping=1.5)
+
+    def test_damping_converges_to_same_energy(self):
+        plain = run_rhf(make_molecule("LiH"))
+        damped = run_rhf(make_molecule("LiH"), damping=0.3)
+        assert np.isclose(plain.energy, damped.energy, atol=1e-6)

@@ -1,0 +1,131 @@
+"""Unit tests for the Circuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate, cnot, hadamard, rz
+
+
+def bell_circuit():
+    return Circuit(2, [hadamard(0), cnot(0, 1)])
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circuit = Circuit(3)
+        assert len(circuit) == 0
+        assert circuit.cnot_count == 0
+
+    def test_invalid_register_size(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_append_validates_range(self):
+        with pytest.raises(ValueError):
+            Circuit(2).append(hadamard(5))
+
+    def test_append_rejects_non_gate(self):
+        with pytest.raises(TypeError):
+            Circuit(2).append("H 0")
+
+    def test_extend_and_len(self):
+        circuit = Circuit(2).extend([hadamard(0), cnot(0, 1), rz(1, 0.1)])
+        assert len(circuit) == 3
+
+    def test_getitem_and_slice(self):
+        circuit = bell_circuit()
+        assert circuit[0].name == "H"
+        assert isinstance(circuit[0:1], Circuit)
+        assert len(circuit[0:1]) == 1
+
+
+class TestAccounting:
+    def test_cnot_count(self):
+        circuit = Circuit(3, [cnot(0, 1), hadamard(2), cnot(1, 2), cnot(0, 1)])
+        assert circuit.cnot_count == 3
+        assert circuit.two_qubit_count == 3
+        assert circuit.single_qubit_count == 1
+
+    def test_count_by_name(self):
+        circuit = bell_circuit()
+        assert circuit.count("h") == 1
+        assert circuit.count("CNOT") == 1
+
+    def test_depth(self):
+        circuit = Circuit(3, [hadamard(0), hadamard(1), cnot(0, 1), hadamard(2)])
+        assert circuit.depth() == 2
+
+    def test_qubits_used(self):
+        circuit = Circuit(4, [hadamard(0), cnot(2, 3)])
+        assert circuit.qubits_used() == (0, 2, 3)
+
+    def test_parameters(self):
+        circuit = Circuit(2, [rz(0, 0.5), rz(1, -0.25)])
+        assert circuit.parameters() == (0.5, -0.25)
+
+
+class TestComposition:
+    def test_compose(self):
+        combined = bell_circuit().compose(Circuit(2, [rz(1, 0.3)]))
+        assert len(combined) == 3
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            bell_circuit().compose(Circuit(3))
+
+    def test_add_operator(self):
+        assert len(bell_circuit() + bell_circuit()) == 4
+
+    def test_inverse_gives_identity(self):
+        circuit = Circuit(2, [hadamard(0), cnot(0, 1), rz(1, 0.7), Gate("S", (0,))])
+        identity = circuit.compose(circuit.inverse()).to_unitary()
+        assert np.allclose(identity, np.eye(4))
+
+    def test_copy_is_independent(self):
+        circuit = bell_circuit()
+        clone = circuit.copy()
+        clone.append(rz(0, 0.2))
+        assert len(circuit) == 2 and len(clone) == 3
+
+
+class TestUnitary:
+    def test_bell_state_preparation(self):
+        state = bell_circuit().to_unitary() @ np.array([1, 0, 0, 0], dtype=complex)
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_unitary_matches_statevector_application(self):
+        circuit = Circuit(
+            3, [hadamard(0), cnot(0, 2), rz(2, 0.4), cnot(1, 0), Gate("S", (1,))]
+        )
+        rng = np.random.default_rng(0)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        state /= np.linalg.norm(state)
+        via_matrix = circuit.to_unitary() @ state
+        via_tensor = circuit.apply_to_statevector(state)
+        assert np.allclose(via_matrix, via_tensor)
+
+    def test_cnot_with_reversed_wires(self):
+        # CNOT(1, 0): qubit 1 controls qubit 0.
+        circuit = Circuit(2, [cnot(1, 0)])
+        unitary = circuit.to_unitary()
+        # |01> (qubit0=0, qubit1=1) -> |11>
+        state = np.zeros(4)
+        state[1] = 1.0
+        assert np.allclose(unitary @ state, np.eye(4)[3])
+
+    def test_unitary_is_unitary(self):
+        circuit = Circuit(3, [hadamard(1), cnot(1, 2), rz(0, 1.1), cnot(0, 1)])
+        u = circuit.to_unitary()
+        assert np.allclose(u @ u.conj().T, np.eye(8))
+
+    def test_equals_up_to_global_phase(self):
+        a = Circuit(1, [Gate("Z", (0,))])
+        b = Circuit(1, [rz(0, np.pi)])  # differs from Z by a global phase
+        assert a.equals_up_to_global_phase(b)
+        assert not a.equals_up_to_global_phase(Circuit(1, [Gate("X", (0,))]))
+
+    def test_repr_and_summary(self):
+        circuit = bell_circuit()
+        assert "cnots=1" in repr(circuit)
+        assert "CNOT" in circuit.summary()

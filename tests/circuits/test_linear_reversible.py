@@ -1,0 +1,52 @@
+"""Unit tests for linear reversible (CNOT-only) circuit synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, circuit_to_matrix, cnot, hadamard, linear_reversible_circuit
+from repro.transforms import random_invertible_matrix
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("method", ["gaussian", "pmh", "best"])
+    def test_round_trip(self, method):
+        rng = np.random.default_rng(4)
+        matrix = random_invertible_matrix(5, rng)
+        circuit = linear_reversible_circuit(matrix, method=method)
+        assert np.array_equal(circuit_to_matrix(circuit), matrix)
+
+    def test_identity_matrix_gives_empty_circuit(self):
+        circuit = linear_reversible_circuit(np.eye(4))
+        assert len(circuit) == 0
+
+    def test_best_not_worse_than_either(self):
+        rng = np.random.default_rng(9)
+        matrix = random_invertible_matrix(6, rng)
+        best = linear_reversible_circuit(matrix, method="best").cnot_count
+        gaussian = linear_reversible_circuit(matrix, method="gaussian").cnot_count
+        pmh = linear_reversible_circuit(matrix, method="pmh").cnot_count
+        assert best == min(gaussian, pmh)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            linear_reversible_circuit(np.eye(2), method="magic")
+
+    def test_circuit_to_matrix_rejects_non_cnot(self):
+        circuit = Circuit(2, [hadamard(0), cnot(0, 1)])
+        with pytest.raises(ValueError):
+            circuit_to_matrix(circuit)
+
+    def test_state_action_matches_gf2_arithmetic(self):
+        """The synthesized circuit permutes computational basis states as Γ does."""
+        rng = np.random.default_rng(2)
+        matrix = random_invertible_matrix(3, rng)
+        circuit = linear_reversible_circuit(matrix)
+        unitary = circuit.to_unitary()
+        for basis in range(8):
+            bits = np.array([(basis >> (2 - q)) & 1 for q in range(3)])
+            image_bits = (matrix @ bits) % 2
+            image = sum(int(b) << (2 - q) for q, b in enumerate(image_bits))
+            state = np.zeros(8)
+            state[basis] = 1.0
+            out = unitary @ state
+            assert np.isclose(abs(out[image]), 1.0)

@@ -1,0 +1,134 @@
+"""Unit tests for the peephole circuit optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Circuit,
+    Gate,
+    cnot,
+    gates_commute,
+    hadamard,
+    optimize_circuit,
+    optimized_cnot_count,
+    remove_identity_rotations,
+    rz,
+    s_gate,
+    sdg_gate,
+)
+
+
+class TestGateCommutation:
+    def test_disjoint_gates_commute(self):
+        assert gates_commute(hadamard(0), cnot(1, 2))
+
+    def test_rz_commutes_with_cnot_control(self):
+        assert gates_commute(rz(0, 0.3), cnot(0, 1))
+
+    def test_rz_does_not_commute_with_cnot_target(self):
+        assert not gates_commute(rz(1, 0.3), cnot(0, 1))
+
+    def test_x_commutes_with_cnot_target(self):
+        assert gates_commute(Gate("X", (1,)), cnot(0, 1))
+
+    def test_cnots_sharing_control_commute(self):
+        assert gates_commute(cnot(0, 1), cnot(0, 2))
+
+    def test_cnots_sharing_target_commute(self):
+        assert gates_commute(cnot(0, 2), cnot(1, 2))
+
+    def test_cnots_chained_do_not_commute(self):
+        assert not gates_commute(cnot(0, 1), cnot(1, 2))
+
+    def test_hadamard_does_not_commute_with_cnot(self):
+        assert not gates_commute(hadamard(0), cnot(0, 1))
+
+
+class TestCancellation:
+    def test_adjacent_cnot_pair_cancels(self):
+        circuit = Circuit(2, [cnot(0, 1), cnot(0, 1)])
+        assert len(optimize_circuit(circuit)) == 0
+
+    def test_adjacent_hadamard_pair_cancels(self):
+        circuit = Circuit(1, [hadamard(0), hadamard(0)])
+        assert len(optimize_circuit(circuit)) == 0
+
+    def test_s_sdg_cancels(self):
+        circuit = Circuit(1, [s_gate(0), sdg_gate(0)])
+        assert len(optimize_circuit(circuit)) == 0
+
+    def test_cancellation_through_commuting_gates(self):
+        # The Rz on the control sits between two identical CNOTs but commutes.
+        circuit = Circuit(2, [cnot(0, 1), rz(0, 0.5), cnot(0, 1)])
+        optimized = optimize_circuit(circuit)
+        assert optimized.cnot_count == 0
+        assert len(optimized) == 1
+
+    def test_no_cancellation_through_blocking_gate(self):
+        circuit = Circuit(2, [cnot(0, 1), hadamard(1), cnot(0, 1)])
+        assert optimize_circuit(circuit).cnot_count == 2
+
+    def test_rz_merge(self):
+        circuit = Circuit(1, [rz(0, 0.25), rz(0, 0.5)])
+        optimized = optimize_circuit(circuit)
+        assert len(optimized) == 1
+        assert np.isclose(optimized[0].parameter, 0.75)
+
+    def test_rz_merge_to_identity(self):
+        circuit = Circuit(1, [rz(0, 0.4), rz(0, -0.4)])
+        assert len(optimize_circuit(circuit)) == 0
+
+    def test_rz_merge_through_commuting_cnot_control(self):
+        circuit = Circuit(2, [rz(0, 0.2), cnot(0, 1), rz(0, 0.3)])
+        optimized = optimize_circuit(circuit)
+        assert len(optimized) == 2
+
+    def test_optimizer_preserves_cnot_ladder(self):
+        # A single Pauli-exponential staircase has nothing to cancel.
+        circuit = Circuit(3, [cnot(0, 2), cnot(1, 2), rz(2, 0.1), cnot(1, 2), cnot(0, 2)])
+        assert optimize_circuit(circuit).cnot_count == 4
+
+    def test_optimized_cnot_count_helper(self):
+        circuit = Circuit(2, [cnot(0, 1), cnot(0, 1), cnot(1, 0)])
+        assert optimized_cnot_count(circuit) == 1
+
+
+class TestCorrectness:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_optimization_preserves_unitary(self, data):
+        n_qubits = data.draw(st.integers(min_value=2, max_value=3))
+        n_gates = data.draw(st.integers(min_value=1, max_value=12))
+        gates = []
+        for _ in range(n_gates):
+            kind = data.draw(st.sampled_from(["H", "S", "X", "RZ", "CNOT"]))
+            if kind == "CNOT":
+                control = data.draw(st.integers(0, n_qubits - 1))
+                target = data.draw(
+                    st.integers(0, n_qubits - 1).filter(lambda q: q != control)
+                )
+                gates.append(cnot(control, target))
+            elif kind == "RZ":
+                qubit = data.draw(st.integers(0, n_qubits - 1))
+                angle = data.draw(st.floats(min_value=-3.0, max_value=3.0))
+                gates.append(rz(qubit, angle))
+            else:
+                qubit = data.draw(st.integers(0, n_qubits - 1))
+                gates.append(Gate(kind, (qubit,)))
+        circuit = Circuit(n_qubits, gates)
+        optimized = optimize_circuit(circuit)
+        assert optimized.cnot_count <= circuit.cnot_count
+        assert len(optimized) <= len(circuit)
+        assert circuit.equals_up_to_global_phase(optimized)
+
+
+class TestIdentityRemoval:
+    def test_remove_zero_rotation(self):
+        circuit = Circuit(1, [rz(0, 0.0), hadamard(0)])
+        assert len(remove_identity_rotations(circuit)) == 1
+
+    def test_keep_finite_rotation(self):
+        circuit = Circuit(1, [rz(0, 0.3)])
+        assert len(remove_identity_rotations(circuit)) == 1

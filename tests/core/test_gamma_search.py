@@ -1,0 +1,97 @@
+"""Tests for the block-diagonal Γ simulated-annealing search (Sec. III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    assemble_gamma,
+    excitation_topology_blocks,
+    greedy_sort,
+    search_block_diagonal_gamma,
+    terms_to_rotations,
+)
+from repro.transforms import LinearEncodingTransform, is_invertible
+from repro.vqe import ExcitationTerm
+
+
+def term(creation, annihilation):
+    return ExcitationTerm(creation=tuple(creation), annihilation=tuple(annihilation))
+
+
+class TestTopologyBlocks:
+    def test_appendix_c_example(self):
+        """Appendix C: terms a†_9 a†_8 a_3 a_1 and a†_6 a†_5 a_2 a_1 (shifted to 0-based)."""
+        terms = [term((7, 8), (0, 2)), term((4, 5), (0, 1))]
+        blocks = excitation_topology_blocks(terms, n_qubits=9)
+        block_sets = sorted(tuple(b) for b in blocks)
+        assert block_sets == [(0, 1, 2), (4, 5), (7, 8)]
+
+    def test_singletons_excluded(self):
+        terms = [term((4,), (0,))]
+        assert excitation_topology_blocks(terms, n_qubits=6) == []
+
+    def test_large_components_split(self):
+        terms = [
+            term((4, 5), (0, 1)),
+            term((5, 6), (1, 2)),
+            term((6, 7), (2, 3)),
+        ]
+        blocks = excitation_topology_blocks(terms, n_qubits=8, max_block_size=3)
+        assert all(2 <= len(block) <= 3 for block in blocks)
+        covered = sorted(i for block in blocks for i in block)
+        # The leftover singleton of each split component stays out of any block
+        # (those modes are simply left untouched by Γ).
+        assert covered == [0, 1, 2, 4, 5, 6]
+
+    def test_assemble_gamma_invertible(self):
+        blocks = [[0, 1], [3, 4, 5]]
+        matrices = [np.array([[1, 1], [0, 1]]), np.eye(3, dtype=np.uint8)]
+        gamma = assemble_gamma(6, blocks, matrices)
+        assert is_invertible(gamma)
+        assert gamma[0, 1] == 1
+
+
+class TestGammaSearch:
+    def setup_method(self):
+        self.terms = [
+            term((4, 6), (0, 2)),
+            term((5, 7), (1, 3)),
+            term((4, 7), (0, 3)),
+        ]
+        self.n_qubits = 8
+
+    def cost(self, gamma):
+        transform = LinearEncodingTransform(gamma)
+        rotations = terms_to_rotations(self.terms, transform)
+        return greedy_sort(rotations).cnot_count
+
+    def test_search_returns_invertible_gamma(self):
+        result = search_block_diagonal_gamma(
+            self.terms, self.n_qubits, self.cost, n_steps=10,
+            rng=np.random.default_rng(0),
+        )
+        assert is_invertible(result.gamma)
+        assert result.cnot_count > 0
+
+    def test_search_never_worse_than_identity(self):
+        identity_cost = self.cost(np.eye(self.n_qubits, dtype=np.uint8))
+        result = search_block_diagonal_gamma(
+            self.terms, self.n_qubits, self.cost, n_steps=20,
+            rng=np.random.default_rng(1),
+        )
+        assert result.cnot_count <= identity_cost
+
+    def test_no_blocks_returns_identity(self):
+        singles = [term((4,), (0,))]
+        result = search_block_diagonal_gamma(
+            singles, 6, lambda gamma: 1.0, n_steps=5, rng=np.random.default_rng(2)
+        )
+        assert np.array_equal(result.gamma, np.eye(6, dtype=np.uint8))
+        assert result.blocks == []
+
+    def test_reported_cost_matches_gamma(self):
+        result = search_block_diagonal_gamma(
+            self.terms, self.n_qubits, self.cost, n_steps=15,
+            rng=np.random.default_rng(3),
+        )
+        assert np.isclose(result.cnot_count, self.cost(result.gamma))

@@ -1,0 +1,165 @@
+"""Unit tests for PauliString."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators import PauliString
+from repro.operators.pauli import PAULI_MATRICES
+
+
+def pauli_labels(n_min=1, n_max=6):
+    return st.text(alphabet="IXYZ", min_size=n_min, max_size=n_max)
+
+
+class TestConstruction:
+    def test_from_string(self):
+        p = PauliString("IXYZ")
+        assert p.labels == ("I", "X", "Y", "Z")
+        assert p.n_qubits == 4
+
+    def test_identity(self):
+        p = PauliString.identity(3)
+        assert p.to_label() == "III"
+        assert p.is_identity
+
+    def test_from_dict(self):
+        p = PauliString.from_dict(5, {1: "X", 4: "Z"})
+        assert p.to_label() == "IXIIZ"
+
+    def test_from_dict_out_of_range(self):
+        with pytest.raises(ValueError):
+            PauliString.from_dict(3, {5: "X"})
+
+    def test_single(self):
+        assert PauliString.single(4, 2, "Y").to_label() == "IIYI"
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            PauliString("IXQ")
+
+
+class TestProperties:
+    def test_weight_and_support(self):
+        p = PauliString("IXIZY")
+        assert p.weight == 3
+        assert p.support == (1, 3, 4)
+
+    def test_getitem_and_iter(self):
+        p = PauliString("XYZ")
+        assert p[1] == "Y"
+        assert list(p) == ["X", "Y", "Z"]
+
+    def test_restricted_to(self):
+        p = PauliString("IXYZ")
+        assert p.restricted_to([1, 3]).to_label() == "XZ"
+
+    def test_padded(self):
+        assert PauliString("XY").padded(4).to_label() == "XYII"
+
+    def test_padded_shrink_raises(self):
+        with pytest.raises(ValueError):
+            PauliString("XYZ").padded(2)
+
+    def test_with_label(self):
+        assert PauliString("III").with_label(1, "Y").to_label() == "IYI"
+
+    def test_hash_and_equality(self):
+        assert PauliString("XY") == PauliString("XY")
+        assert hash(PauliString("XY")) == hash(PauliString("XY"))
+        assert PauliString("XY") != PauliString("YX")
+
+    def test_ordering(self):
+        assert sorted([PauliString("ZZ"), PauliString("IX")])[0] == PauliString("IX")
+
+
+class TestMultiplication:
+    def test_xy_gives_iz(self):
+        phase, product = PauliString("X").multiply(PauliString("Y"))
+        assert phase == 1j
+        assert product == PauliString("Z")
+
+    def test_yx_gives_minus_iz(self):
+        phase, product = PauliString("Y").multiply(PauliString("X"))
+        assert phase == -1j
+        assert product == PauliString("Z")
+
+    def test_self_product_is_identity(self):
+        phase, product = PauliString("XYZX").multiply(PauliString("XYZX"))
+        assert phase == 1
+        assert product.is_identity
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            PauliString("X").multiply(PauliString("XY"))
+
+    @given(pauli_labels(2, 5), pauli_labels(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_matches_matrix_product(self, a, b):
+        n = min(len(a), len(b))
+        pa, pb = PauliString(a[:n]), PauliString(b[:n])
+        phase, product = pa.multiply(pb)
+        lhs = pa.to_dense() @ pb.to_dense()
+        rhs = phase * product.to_dense()
+        assert np.allclose(lhs, rhs)
+
+
+class TestCommutation:
+    def test_disjoint_strings_commute(self):
+        assert PauliString("XI").commutes_with(PauliString("IZ"))
+
+    def test_single_qubit_anticommute(self):
+        assert not PauliString("X").commutes_with(PauliString("Z"))
+
+    def test_two_anticommuting_factors_commute(self):
+        assert PauliString("XX").commutes_with(PauliString("ZZ"))
+
+    @given(pauli_labels(1, 5), pauli_labels(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_commutation_matches_matrices(self, a, b):
+        n = min(len(a), len(b))
+        pa, pb = PauliString(a[:n]), PauliString(b[:n])
+        commutator = pa.to_dense() @ pb.to_dense() - pb.to_dense() @ pa.to_dense()
+        assert pa.commutes_with(pb) == np.allclose(commutator, 0)
+
+    def test_overlap(self):
+        assert PauliString("XXI").overlap(PauliString("IXZ")) == (1,)
+
+
+class TestSymplectic:
+    def test_round_trip(self):
+        p = PauliString("IXYZ")
+        x, z = p.to_symplectic()
+        assert PauliString.from_symplectic(x, z) == p
+
+    def test_symplectic_vectors(self):
+        x, z = PauliString("IXYZ").to_symplectic()
+        assert list(x) == [0, 1, 1, 0]
+        assert list(z) == [0, 0, 1, 1]
+
+    def test_from_symplectic_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PauliString.from_symplectic([1, 0], [1])
+
+    @given(pauli_labels(1, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, label):
+        p = PauliString(label)
+        assert PauliString.from_symplectic(*p.to_symplectic()) == p
+
+
+class TestMatrixExport:
+    def test_single_qubit_matrices(self):
+        for label in "IXYZ":
+            assert np.allclose(PauliString(label).to_dense(), PAULI_MATRICES[label])
+
+    def test_tensor_ordering_qubit0_most_significant(self):
+        # Z on qubit 0 of a 2-qubit register: diag(1, 1, -1, -1).
+        matrix = PauliString("ZI").to_dense()
+        assert np.allclose(np.diag(matrix), [1, 1, -1, -1])
+
+    def test_matrix_is_unitary_and_hermitian(self):
+        m = PauliString("XYZ").to_dense()
+        assert np.allclose(m @ m.conj().T, np.eye(8))
+        assert np.allclose(m, m.conj().T)

@@ -1,0 +1,106 @@
+"""Unit tests for the randomized greedy graph coloring solver."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizers import (
+    greedy_coloring,
+    is_proper_coloring,
+    randomized_greedy_coloring,
+)
+
+
+class TestGreedyColoring:
+    def test_triangle_needs_three_colors(self):
+        graph = nx.cycle_graph(3)
+        result = greedy_coloring(graph, [0, 1, 2])
+        assert result.n_colors == 3
+        assert is_proper_coloring(graph, result.colors)
+
+    def test_path_needs_two_colors(self):
+        graph = nx.path_graph(5)
+        result = randomized_greedy_coloring(graph, n_orders=10, rng=np.random.default_rng(0))
+        assert result.n_colors == 2
+        assert is_proper_coloring(graph, result.colors)
+
+    def test_empty_graph(self):
+        result = randomized_greedy_coloring(nx.Graph(), rng=np.random.default_rng(0))
+        assert result.n_colors == 0
+        assert result.largest_color_class() == set()
+
+    def test_isolated_vertices_one_color(self):
+        graph = nx.empty_graph(6)
+        result = randomized_greedy_coloring(graph, rng=np.random.default_rng(0))
+        assert result.n_colors == 1
+        assert len(result.largest_color_class()) == 6
+
+    def test_adjacency_dict_input(self):
+        adjacency = {"a": ["b"], "b": ["a", "c"], "c": ["b"]}
+        result = randomized_greedy_coloring(adjacency, rng=np.random.default_rng(1))
+        assert result.n_colors == 2
+        assert is_proper_coloring(adjacency, result.colors)
+
+    def test_invalid_n_orders(self):
+        with pytest.raises(ValueError):
+            randomized_greedy_coloring(nx.path_graph(3), n_orders=0)
+
+    def test_color_classes_partition_vertices(self):
+        graph = nx.gnp_random_graph(12, 0.4, seed=3)
+        result = randomized_greedy_coloring(graph, rng=np.random.default_rng(3))
+        classes = result.color_classes()
+        all_vertices = set().union(*classes) if classes else set()
+        assert all_vertices == set(graph.nodes)
+        assert sum(len(c) for c in classes) == graph.number_of_nodes()
+
+    def test_bipartite_graph_two_colors(self):
+        graph = nx.complete_bipartite_graph(4, 5)
+        result = randomized_greedy_coloring(graph, n_orders=20, rng=np.random.default_rng(5))
+        assert result.n_colors == 2
+        assert len(result.largest_color_class()) == 5
+
+
+class TestPaperColoringExample:
+    """Appendix A, Fig. 6(c): the reduced 5-vertex hybrid-term graph."""
+
+    def graph(self):
+        # Vertices h0, h1, h5, h6, h7; edges from Fig. 6(b): h0-h1, h1-h5,
+        # h5-h6 and h6-h7 (a path).
+        graph = nx.Graph()
+        graph.add_edges_from(
+            [("h0", "h1"), ("h1", "h5"), ("h5", "h6"), ("h6", "h7")]
+        )
+        return graph
+
+    def test_order_one_reproduces_paper_coloring(self):
+        # Order 1 in the paper (h1, h5, h0, h6, h7) uses two colors and its
+        # largest color class is {h0, h5, h7} — exactly the S_color set the
+        # paper compiles in compressed form.
+        result = greedy_coloring(self.graph(), ["h1", "h5", "h0", "h6", "h7"])
+        assert result.n_colors == 2
+        assert is_proper_coloring(self.graph(), result.colors)
+        assert result.largest_color_class() == {"h0", "h5", "h7"}
+
+    def test_order_two_needs_three_colors(self):
+        # Order 2 in the paper: h1, h7, h6, h5, h0 requires a third color.
+        result = greedy_coloring(self.graph(), ["h1", "h7", "h6", "h5", "h0"])
+        assert result.n_colors == 3
+
+    def test_randomized_search_finds_two_coloring(self):
+        result = randomized_greedy_coloring(
+            self.graph(), n_orders=30, rng=np.random.default_rng(7)
+        )
+        assert result.n_colors == 2
+        assert len(result.largest_color_class()) == 3
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=2, max_value=12), st.floats(min_value=0.0, max_value=0.8), st.integers(0, 10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_colorings_always_proper(self, n, p, seed):
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        result = randomized_greedy_coloring(graph, n_orders=5, rng=np.random.default_rng(seed))
+        assert is_proper_coloring(graph, result.colors)
+        assert result.n_colors <= n

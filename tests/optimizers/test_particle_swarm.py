@@ -1,0 +1,64 @@
+"""Unit tests for binary particle swarm optimization."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import binary_particle_swarm
+
+
+class TestBinaryPso:
+    def test_finds_all_ones(self):
+        result = binary_particle_swarm(
+            objective=lambda x: float(np.sum(1 - x)),
+            n_bits=10,
+            n_particles=20,
+            iterations=60,
+            rng=np.random.default_rng(0),
+        )
+        assert result.best_value == 0.0
+        assert np.all(result.best_position == 1)
+
+    def test_nearly_matches_target_pattern(self):
+        # PSO is the baseline solver the paper criticises for getting trapped
+        # in local minima, so we only require it to get close to the optimum.
+        target = np.array([1, 0, 0, 1, 1, 0, 1, 0], dtype=np.uint8)
+        result = binary_particle_swarm(
+            objective=lambda x: float(np.sum(x != target)),
+            n_bits=8,
+            n_particles=25,
+            iterations=80,
+            rng=np.random.default_rng(1),
+        )
+        assert result.best_value <= 1.0
+
+    def test_initial_position_seeding(self):
+        target = np.zeros(12, dtype=np.uint8)
+        result = binary_particle_swarm(
+            objective=lambda x: float(np.sum(x != target)),
+            n_bits=12,
+            n_particles=5,
+            iterations=1,
+            rng=np.random.default_rng(2),
+            initial_position=target,
+        )
+        assert result.best_value == 0.0
+
+    def test_trace_monotone_nonincreasing(self):
+        result = binary_particle_swarm(
+            objective=lambda x: float(np.sum(x)),
+            n_bits=6,
+            n_particles=8,
+            iterations=30,
+            rng=np.random.default_rng(3),
+        )
+        assert all(a >= b for a, b in zip(result.value_trace, result.value_trace[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            binary_particle_swarm(lambda x: 0.0, n_bits=0)
+        with pytest.raises(ValueError):
+            binary_particle_swarm(lambda x: 0.0, n_bits=3, n_particles=1)
+        with pytest.raises(ValueError):
+            binary_particle_swarm(
+                lambda x: 0.0, n_bits=3, initial_position=np.zeros(5, dtype=np.uint8)
+            )

@@ -1,0 +1,105 @@
+"""Unit tests for simulated annealing."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import AnnealingSchedule, simulated_annealing
+
+
+class TestSchedule:
+    def test_temperature_endpoints(self):
+        schedule = AnnealingSchedule(initial_temperature=2.0, final_temperature=0.01, n_steps=100)
+        assert np.isclose(schedule.temperature(0), 2.0)
+        assert np.isclose(schedule.temperature(99), 0.01)
+
+    def test_temperature_monotone_decreasing(self):
+        schedule = AnnealingSchedule(n_steps=50)
+        temps = [schedule.temperature(s) for s in range(50)]
+        assert all(a >= b for a, b in zip(temps, temps[1:]))
+
+    def test_invalid_schedules(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(initial_temperature=-1.0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(final_temperature=5.0, initial_temperature=1.0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(n_steps=0)
+
+    def test_single_step_schedule(self):
+        schedule = AnnealingSchedule(n_steps=1)
+        assert schedule.temperature(0) == schedule.initial_temperature
+
+
+class TestAnnealing:
+    def test_minimizes_quadratic_over_integers(self):
+        def energy(x):
+            return (x - 7) ** 2
+
+        def neighbor(x, rng):
+            return x + int(rng.integers(-2, 3))
+
+        result = simulated_annealing(
+            0, energy, neighbor,
+            schedule=AnnealingSchedule(n_steps=3000),
+            rng=np.random.default_rng(0),
+        )
+        assert result.best_state == 7
+        assert result.best_energy == 0
+
+    def test_minimizes_binary_objective(self):
+        target = np.array([1, 0, 1, 1, 0, 1, 0, 0], dtype=np.uint8)
+
+        def energy(x):
+            return int(np.sum(x != target))
+
+        def neighbor(x, rng):
+            flipped = x.copy()
+            index = int(rng.integers(len(x)))
+            flipped[index] ^= 1
+            return flipped
+
+        result = simulated_annealing(
+            np.zeros(8, dtype=np.uint8), energy, neighbor,
+            schedule=AnnealingSchedule(n_steps=2000),
+            rng=np.random.default_rng(1),
+        )
+        assert result.best_energy == 0
+        assert np.array_equal(result.best_state, target)
+
+    def test_never_reports_worse_than_initial(self):
+        def energy(x):
+            return float(x)
+
+        def neighbor(x, rng):
+            return x + float(rng.normal())
+
+        result = simulated_annealing(
+            5.0, energy, neighbor,
+            schedule=AnnealingSchedule(n_steps=200),
+            rng=np.random.default_rng(2),
+        )
+        assert result.best_energy <= 5.0
+
+    def test_trace_recording(self):
+        result = simulated_annealing(
+            0,
+            lambda x: x * x,
+            lambda x, rng: x + int(rng.integers(-1, 2)),
+            schedule=AnnealingSchedule(n_steps=50),
+            rng=np.random.default_rng(3),
+            record_trace=True,
+        )
+        assert len(result.energy_trace) == 50
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_deterministic_with_seed(self):
+        def run():
+            return simulated_annealing(
+                0,
+                lambda x: abs(x - 3),
+                lambda x, rng: x + int(rng.integers(-1, 2)),
+                schedule=AnnealingSchedule(n_steps=100),
+                rng=np.random.default_rng(42),
+            )
+
+        assert run().best_state == run().best_state

@@ -1,0 +1,81 @@
+"""Unit tests for the simple TSP heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import nearest_neighbor_tour, solve_tsp, tour_length, two_opt
+
+
+def grid_points(n):
+    rng = np.random.default_rng(7)
+    return [tuple(p) for p in rng.random((n, 2))]
+
+
+def euclidean(a, b):
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+class TestTourLength:
+    def test_empty_and_single(self):
+        assert tour_length([], euclidean) == 0.0
+        assert tour_length([(0, 0)], euclidean) == 0.0
+
+    def test_square_cycle(self):
+        square = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert np.isclose(tour_length(square, euclidean), 4.0)
+
+    def test_open_path(self):
+        square = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert np.isclose(tour_length(square, euclidean, cyclic=False), 3.0)
+
+
+class TestNearestNeighbor:
+    def test_visits_every_vertex_once(self):
+        points = grid_points(10)
+        tour = nearest_neighbor_tour(points, euclidean)
+        assert sorted(tour) == sorted(points)
+
+    def test_start_vertex_respected(self):
+        points = grid_points(5)
+        tour = nearest_neighbor_tour(points, euclidean, start=points[3])
+        assert tour[0] == points[3]
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_tour([(0, 0)], euclidean, start=(9, 9))
+
+    def test_empty_input(self):
+        assert nearest_neighbor_tour([], euclidean) == []
+
+
+class TestTwoOpt:
+    def test_never_worse(self):
+        points = grid_points(12)
+        initial = list(points)
+        improved = two_opt(initial, euclidean)
+        assert tour_length(improved, euclidean) <= tour_length(initial, euclidean) + 1e-9
+        assert sorted(improved) == sorted(points)
+
+    def test_small_tours_returned_unchanged(self):
+        points = grid_points(3)
+        assert two_opt(points, euclidean) == list(points)
+
+    def test_untangles_crossed_square(self):
+        crossed = [(0, 0), (1, 1), (1, 0), (0, 1)]
+        improved = two_opt(crossed, euclidean)
+        assert np.isclose(tour_length(improved, euclidean), 4.0)
+
+
+class TestSolveTsp:
+    def test_square_optimal(self):
+        square = [(0, 0), (1, 1), (1, 0), (0, 1)]
+        tour = solve_tsp(square, euclidean, rng=np.random.default_rng(0))
+        assert np.isclose(tour_length(tour, euclidean), 4.0)
+
+    def test_empty(self):
+        assert solve_tsp([], euclidean) == []
+
+    def test_visits_all(self):
+        points = grid_points(15)
+        tour = solve_tsp(points, euclidean, rng=np.random.default_rng(1))
+        assert sorted(tour) == sorted(points)

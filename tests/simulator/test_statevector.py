@@ -1,0 +1,111 @@
+"""Unit tests for the sparse statevector utilities."""
+
+import numpy as np
+import pytest
+
+from repro.operators import FermionOperator, QubitOperator
+from repro.simulator import (
+    apply_exponential,
+    basis_state,
+    expectation_value,
+    fermion_sparse,
+    hartree_fock_state,
+    normalize,
+    particle_number,
+    state_fidelity,
+)
+
+
+class TestBasisStates:
+    def test_vacuum(self):
+        state = basis_state(3, [])
+        assert state[0] == 1.0 and np.count_nonzero(state) == 1
+
+    def test_single_occupation_msb_convention(self):
+        # Qubit 0 occupied -> index 4 on three qubits.
+        state = basis_state(3, [0])
+        assert state[4] == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            basis_state(2, [5])
+
+    def test_hartree_fock_state(self):
+        state = hartree_fock_state(4, 2)
+        # Modes 0 and 1 occupied -> index 0b1100 = 12.
+        assert state[12] == 1.0
+
+    def test_hartree_fock_invalid_count(self):
+        with pytest.raises(ValueError):
+            hartree_fock_state(2, 5)
+
+    def test_particle_number_of_hf_state(self):
+        state = hartree_fock_state(5, 3)
+        assert np.isclose(particle_number(state, 5), 3.0)
+
+
+class TestExpectation:
+    def test_z_expectation(self):
+        operator = QubitOperator.from_label("ZI")
+        assert np.isclose(expectation_value(operator, basis_state(2, [])), 1.0)
+        assert np.isclose(expectation_value(operator, basis_state(2, [0])), -1.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            expectation_value(QubitOperator.from_label("Z"), basis_state(2, []))
+
+    def test_number_operator_expectation(self):
+        number_op = fermion_sparse(FermionOperator.number(1), 3)
+        assert np.isclose(expectation_value(number_op, basis_state(3, [1])), 1.0)
+        assert np.isclose(expectation_value(number_op, basis_state(3, [0, 2])), 0.0)
+
+
+class TestExponentials:
+    def test_exponential_preserves_norm(self):
+        generator = fermion_sparse(
+            FermionOperator.double_excitation(2, 3, 0, 1, 1.0).anti_hermitian_part(), 4
+        )
+        state = apply_exponential(generator, hartree_fock_state(4, 2), scale=0.37)
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+    def test_exponential_preserves_particle_number(self):
+        generator = fermion_sparse(
+            FermionOperator.double_excitation(2, 3, 0, 1, 1.0).anti_hermitian_part(), 4
+        )
+        state = apply_exponential(generator, hartree_fock_state(4, 2), scale=0.8)
+        assert np.isclose(particle_number(state, 4), 2.0)
+
+    def test_zero_angle_is_identity(self):
+        generator = fermion_sparse(
+            FermionOperator.single_excitation(2, 0).anti_hermitian_part(), 3
+        )
+        reference = hartree_fock_state(3, 1)
+        assert np.allclose(apply_exponential(generator, reference, scale=0.0), reference)
+
+    def test_rotation_angle_pi_maps_between_determinants(self):
+        # exp((pi/2)(a†_1 a_0 - a†_0 a_1)) maps |10> to |01> up to phase.
+        generator = fermion_sparse(
+            FermionOperator.single_excitation(1, 0).anti_hermitian_part(), 2
+        )
+        state = apply_exponential(generator, basis_state(2, [0]), scale=np.pi / 2)
+        assert np.isclose(abs(state[1]), 1.0, atol=1e-8)
+
+    def test_dimension_mismatch(self):
+        generator = fermion_sparse(FermionOperator.number(0), 2)
+        with pytest.raises(ValueError):
+            apply_exponential(generator, basis_state(3, []))
+
+
+class TestHelpers:
+    def test_normalize(self):
+        state = normalize(np.array([3.0, 4.0]))
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            normalize(np.zeros(4))
+
+    def test_fidelity_bounds(self):
+        a, b = basis_state(2, [0]), basis_state(2, [1])
+        assert np.isclose(state_fidelity(a, a), 1.0)
+        assert np.isclose(state_fidelity(a, b), 0.0)

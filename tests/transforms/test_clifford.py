@@ -1,0 +1,97 @@
+"""Unit tests for Pauli conjugation by CNOT networks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators import PauliString, QubitOperator
+from repro.transforms import (
+    conjugate_by_cnot_network,
+    conjugate_pauli_by_cnot,
+    conjugate_pauli_by_cnot_network,
+)
+
+
+def cnot_matrix(n, control, target):
+    """Dense CNOT unitary with qubit 0 as the most significant bit."""
+    dim = 2 ** n
+    matrix = np.zeros((dim, dim))
+    for basis in range(dim):
+        bits = [(basis >> (n - 1 - q)) & 1 for q in range(n)]
+        if bits[control]:
+            bits[target] ^= 1
+        image = sum(bit << (n - 1 - q) for q, bit in enumerate(bits))
+        matrix[image, basis] = 1.0
+    return matrix
+
+
+class TestSingleCnotConjugation:
+    def test_control_x_spreads(self):
+        sign, result = conjugate_pauli_by_cnot(PauliString("XI"), 0, 1)
+        assert sign == 1 and result == PauliString("XX")
+
+    def test_target_z_spreads(self):
+        sign, result = conjugate_pauli_by_cnot(PauliString("IZ"), 0, 1)
+        assert sign == 1 and result == PauliString("ZZ")
+
+    def test_xz_picks_up_sign(self):
+        sign, result = conjugate_pauli_by_cnot(PauliString("XZ"), 0, 1)
+        assert sign == -1 and result == PauliString("YY")
+
+    def test_equal_wires_raise(self):
+        with pytest.raises(ValueError):
+            conjugate_pauli_by_cnot(PauliString("XX"), 1, 1)
+
+    @given(
+        st.text(alphabet="IXYZ", min_size=2, max_size=4),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_matrix_conjugation(self, label, data):
+        n = len(label)
+        control = data.draw(st.integers(min_value=0, max_value=n - 1))
+        target = data.draw(
+            st.integers(min_value=0, max_value=n - 1).filter(lambda t: t != control)
+        )
+        string = PauliString(label)
+        sign, image = conjugate_pauli_by_cnot(string, control, target)
+        unitary = cnot_matrix(n, control, target)
+        expected = unitary @ string.to_dense() @ unitary.conj().T
+        assert np.allclose(expected, sign * image.to_dense())
+
+
+class TestNetworkConjugation:
+    def test_network_application_order(self):
+        # U = CNOT(1,2) CNOT(0,1) applied in that circuit order.
+        cnots = [(0, 1), (1, 2)]
+        sign, image = conjugate_pauli_by_cnot_network(PauliString("XII"), cnots)
+        # X0 -> X0 X1 (first gate) -> X0 X1 X2 (second gate).
+        assert sign == 1 and image == PauliString("XXX")
+
+    def test_network_matches_matrix(self):
+        cnots = [(0, 2), (2, 1), (1, 0)]
+        n = 3
+        unitary = np.eye(8)
+        for control, target in cnots:
+            unitary = cnot_matrix(n, control, target) @ unitary
+        string = PauliString("YZX")
+        sign, image = conjugate_pauli_by_cnot_network(string, cnots)
+        expected = unitary @ string.to_dense() @ unitary.conj().T
+        assert np.allclose(expected, sign * image.to_dense())
+
+    def test_operator_conjugation_preserves_spectrum(self):
+        op = QubitOperator.from_label("XYZ", 0.7) + QubitOperator.from_label("ZZI", -0.3)
+        conjugated = conjugate_by_cnot_network(op, [(0, 1), (1, 2), (0, 2)])
+        original = np.sort(np.linalg.eigvalsh(op.to_dense()))
+        transformed = np.sort(np.linalg.eigvalsh(conjugated.to_dense()))
+        assert np.allclose(original, transformed)
+
+    def test_paper_appendix_c_example(self):
+        """Appendix C: Γ with CNOTs on the first and last qubit pairs maps XXIIXY to XIIIYZ."""
+        string = PauliString("XXIIXY")
+        cnots = [(0, 1), (4, 5)]
+        sign, image = conjugate_pauli_by_cnot_network(string, cnots)
+        assert sign == 1
+        assert image == PauliString("XIIIYZ")
+        assert image.weight < string.weight

@@ -1,0 +1,61 @@
+"""Unit tests for the ternary-tree transform."""
+
+import numpy as np
+import pytest
+
+from repro.operators import FermionOperator, QubitOperator
+from repro.transforms import JordanWignerTransform, TernaryTreeTransform
+from repro.transforms.ternary_tree import _build_paths
+
+
+class TestTreeStructure:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7])
+    def test_vacancy_count(self, n):
+        assert len(_build_paths(n)) == 2 * n + 1
+
+    def test_majoranas_anticommute(self):
+        transform = TernaryTreeTransform(4)
+        majoranas = [transform.majorana_operator(i) for i in range(2 * 4 + 1)]
+        for i, gamma_i in enumerate(majoranas):
+            for j, gamma_j in enumerate(majoranas):
+                if i != j:
+                    assert not gamma_i.commutes_with(gamma_j), (i, j)
+
+    def test_majoranas_square_to_identity(self):
+        transform = TernaryTreeTransform(3)
+        for i in range(7):
+            phase, product = transform.majorana_operator(i).multiply(
+                transform.majorana_operator(i)
+            )
+            assert phase == 1 and product.is_identity
+
+
+class TestAlgebra:
+    def test_canonical_anticommutation(self):
+        n = 3
+        transform = TernaryTreeTransform(n)
+        for i in range(n):
+            for j in range(n):
+                a_i = transform.annihilation_operator(i)
+                adag_j = transform.creation_operator(j)
+                anticommutator = a_i * adag_j + adag_j * a_i
+                expected = QubitOperator.identity(n, 1.0 if i == j else 0.0)
+                assert anticommutator == expected
+
+    def test_number_operator_spectrum(self):
+        transform = TernaryTreeTransform(3)
+        image = transform.transform(FermionOperator.number(0))
+        eigenvalues = np.unique(np.round(np.linalg.eigvalsh(image.to_dense()), 10))
+        assert np.allclose(eigenvalues, [0, 1])
+
+    def test_average_weight_not_worse_than_jordan_wigner(self):
+        n = 9
+        tt = TernaryTreeTransform(n)
+        jw = JordanWignerTransform(n)
+        tt_weight = sum(tt.annihilation_operator(i).max_weight() for i in range(n))
+        jw_weight = sum(jw.annihilation_operator(i).max_weight() for i in range(n))
+        assert tt_weight <= jw_weight
+
+    def test_mode_out_of_range(self):
+        with pytest.raises(ValueError):
+            TernaryTreeTransform(2).annihilation_operator(5)
