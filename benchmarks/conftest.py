@@ -7,10 +7,27 @@ stage they target.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
 from repro.vqe import hmp2_ranked_terms
+
+
+BENCHMARKS_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as slow (the tier-2 marker split).
+
+    Tier-1 unit tests run with ``pytest -m "not slow"`` (or ``pytest tests``);
+    the full suite including these harnesses runs with a plain ``pytest``.
+    The hook sees the whole session's items, so filter to this directory.
+    """
+    for item in items:
+        if BENCHMARKS_DIR in Path(item.fspath).parents:
+            item.add_marker(pytest.mark.slow)
 
 #: Frozen-core settings per molecule (H2 has no core to freeze).
 FROZEN_CORE = {"H2": 0, "LiH": 1, "HF": 1, "BeH2": 1, "H2O": 1, "NH3": 1}

@@ -1,15 +1,18 @@
-"""Regenerate Table I of the paper (full sweep).
+"""Regenerate Table I of the paper (full sweep) through the unified API.
 
 For every molecule of Table I this script selects the requested number of
-HMP2-ranked UCCSD excitation terms and reports the CNOT counts of the four
-compilation flows (JW, BK, prior-art baseline "GT", and this work "Adv"),
-plus the improvement of Adv over GT.
+HMP2-ranked UCCSD excitation terms, builds one
+:class:`~repro.api.CompileRequest` per row, and compiles the whole sweep with
+:func:`repro.api.compile_batch` across the four Table-I backends (JW, BK,
+prior-art baseline "GT", and this work "Adv"), reporting the CNOT counts and
+the improvement of Adv over GT.
 
 The NH3 row and the deeper water progressions take several minutes in pure
-Python; pass ``--quick`` to restrict the sweep to the fast rows.
+Python; pass ``--quick`` to restrict the sweep to the fast rows, and
+``--workers N`` to fan the compilations out over N processes.
 
 Usage:
-    python benchmarks/run_table1.py [--quick] [--seed 0]
+    python benchmarks/run_table1.py [--quick] [--seed 0] [--workers N]
 """
 
 from __future__ import annotations
@@ -17,13 +20,21 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
-from repro.baselines import BaselineCompiler, naive_cnot_count
+from repro.api import (
+    DEFAULT_BACKEND_NAMES,
+    CompileCache,
+    CompileRequest,
+    CompilerConfig,
+    compile_batch,
+)
 from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
-from repro.core import AdvancedCompiler
-from repro.transforms import BravyiKitaevTransform, JordanWignerTransform
 from repro.vqe import hmp2_ranked_terms
+
+#: Table-I column order, by canonical backend name.
+BACKENDS = tuple(DEFAULT_BACKEND_NAMES)
 
 #: Full Table-I style sweep: (molecule, frozen core, list of Ne values).
 FULL_CASES = [
@@ -60,25 +71,38 @@ PAPER_TABLE1 = {
 }
 
 
-def compile_row(hamiltonian, terms, seed: int):
-    n_qubits = hamiltonian.n_spin_orbitals
-    jw = naive_cnot_count(terms, JordanWignerTransform(n_qubits))
-    bk = naive_cnot_count(terms, BravyiKitaevTransform(n_qubits))
-    baseline = BaselineCompiler().compile(terms, n_qubits=n_qubits).cnot_count
-    advanced = AdvancedCompiler(
+def build_requests(cases, seed: int):
+    """One ``(molecule, request)`` pair per Table-I row."""
+    config = CompilerConfig(
         gamma_steps=30, sorting_population=20, sorting_generations=25, seed=seed
-    ).compile(terms, n_qubits=n_qubits).cnot_count
-    return jw, bk, baseline, advanced
+    )
+    labeled = []
+    for molecule_name, frozen, term_counts in cases:
+        scf = run_rhf(make_molecule(molecule_name))
+        hamiltonian = build_molecular_hamiltonian(scf, n_frozen_spatial_orbitals=frozen)
+        ranked = hmp2_ranked_terms(hamiltonian)
+        for n_terms in term_counts:
+            terms = ranked[: min(n_terms, len(ranked))]
+            request = CompileRequest(
+                terms=tuple(terms),
+                n_qubits=hamiltonian.n_spin_orbitals,
+                config=config,
+            )
+            labeled.append((molecule_name, request))
+    return labeled
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run only the fast rows")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1, help="compile in N processes")
     parser.add_argument("--output", type=Path, default=Path("benchmarks/results_table1.json"))
     args = parser.parse_args()
 
     cases = QUICK_CASES if args.quick else FULL_CASES
+    labeled = build_requests(cases, args.seed)
+
     rows = []
     header = (
         f"{'Molecule':<9}{'Ne':>4}{'JW':>7}{'BK':>7}{'GT':>7}{'Adv':>7}{'Impr%':>8}"
@@ -87,32 +111,37 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
-    for molecule_name, frozen, term_counts in cases:
-        scf = run_rhf(make_molecule(molecule_name))
-        hamiltonian = build_molecular_hamiltonian(scf, n_frozen_spatial_orbitals=frozen)
-        ranked = hmp2_ranked_terms(hamiltonian)
-        for n_terms in term_counts:
-            terms = ranked[: min(n_terms, len(ranked))]
-            start = time.time()
-            jw, bk, baseline, advanced = compile_row(hamiltonian, terms, args.seed)
-            elapsed = time.time() - start
+    # One batch per row so the multi-minute full sweep prints each Table-I
+    # row as it completes; a single shared pool amortizes worker startup.
+    cache = CompileCache()
+    pool = ProcessPoolExecutor(max_workers=args.workers) if args.workers > 1 else None
+    start = time.time()
+    try:
+        for molecule_name, request in labeled:
+            row_start = time.time()
+            row = compile_batch(
+                [request], backends=BACKENDS, cache=cache, executor=pool
+            ).results[0]
+            elapsed = time.time() - row_start
+            jw, bk, baseline, advanced = (row[name].cnot_count for name in BACKENDS)
             improvement = 100.0 * (1.0 - advanced / baseline) if baseline else 0.0
-            paper = PAPER_TABLE1.get((molecule_name, n_terms))
+            paper = PAPER_TABLE1.get((molecule_name, len(request.terms)))
             if paper:
                 paper_improvement = 100.0 * (1.0 - paper[3] / paper[2])
                 paper_text = (
-                    f"{paper[0]:>4}{paper[1]:>5}{paper[2]:>5}{paper[3]:>5}{paper_improvement:>7.2f}"
+                    f"{paper[0]:>4}{paper[1]:>5}{paper[2]:>5}{paper[3]:>5}"
+                    f"{paper_improvement:>7.2f}"
                 )
             else:
                 paper_text = f"{'-':>4}{'-':>5}{'-':>5}{'-':>5}{'-':>7}"
             print(
-                f"{molecule_name:<9}{len(terms):>4}{jw:>7}{bk:>7}{baseline:>7}{advanced:>7}"
-                f"{improvement:>8.2f}   |        {paper_text}   [{elapsed:.1f}s]"
+                f"{molecule_name:<9}{len(request.terms):>4}{jw:>7}{bk:>7}{baseline:>7}"
+                f"{advanced:>7}{improvement:>8.2f}   |        {paper_text}   [{elapsed:.1f}s]"
             )
             rows.append(
                 {
                     "molecule": molecule_name,
-                    "n_terms": len(terms),
+                    "n_terms": len(request.terms),
                     "jw": jw,
                     "bk": bk,
                     "baseline_gt": baseline,
@@ -122,9 +151,16 @@ def main() -> None:
                     "seconds": elapsed,
                 }
             )
-
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    total_elapsed = time.time() - start
+    print(
+        f"\n{len(rows)} rows x {len(BACKENDS)} backends in {total_elapsed:.1f}s "
+        f"(cache: {cache.hits} hits / {cache.misses} misses)"
+    )
     args.output.write_text(json.dumps(rows, indent=2))
-    print(f"\nWrote {args.output}")
+    print(f"Wrote {args.output}")
 
 
 if __name__ == "__main__":

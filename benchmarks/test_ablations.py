@@ -1,8 +1,10 @@
 """Ablation benchmarks for the design choices called out in DESIGN.md.
 
-Each ablation switches one ingredient of the advanced pipeline off and
-measures the CNOT count on the same LiH / H2O ansatz, quantifying what each
-technique buys:
+Each ablation switches one ingredient of the advanced pipeline off — by
+replacing the relevant :class:`~repro.api.CompilerConfig` field or by
+substituting a pipeline stage (:meth:`~repro.core.AdvancedPipeline.with_stage`)
+— and measures the CNOT count on the same LiH / H2O ansatz, quantifying what
+each technique buys:
 
 * hybrid encoding on/off (Sec. III-A),
 * GTSP advanced sorting vs naive per-term ordering (Sec. III-B),
@@ -14,21 +16,24 @@ technique buys:
 import numpy as np
 import pytest
 
-from repro.baselines import BaselineCompiler
+from repro.api import CompileRequest, CompilerConfig, get_backend
 from repro.core import (
-    AdvancedCompiler,
+    AdvancedPipeline,
     advanced_sort,
     baseline_order_cnot_count,
     greedy_sort,
+    naive_sort_stage,
     terms_to_rotations,
 )
 from repro.transforms import JordanWignerTransform
 
+BASE_CONFIG = CompilerConfig(
+    gamma_steps=15, sorting_population=14, sorting_generations=15, seed=0
+)
 
-def make_compiler(**overrides):
-    options = dict(gamma_steps=15, sorting_population=14, sorting_generations=15, seed=0)
-    options.update(overrides)
-    return AdvancedCompiler(**options)
+
+def make_pipeline(**overrides):
+    return AdvancedPipeline(BASE_CONFIG.replace(**overrides))
 
 
 @pytest.fixture(scope="module")
@@ -49,8 +54,8 @@ class TestHybridEncodingAblation:
         n_qubits = hamiltonian.n_spin_orbitals
 
         def run():
-            full = make_compiler().compile(terms, n_qubits=n_qubits).cnot_count
-            no_hybrid = make_compiler(use_hybrid_encoding=False).compile(
+            full = make_pipeline().run(terms, n_qubits=n_qubits).cnot_count
+            no_hybrid = make_pipeline(use_hybrid_encoding=False).run(
                 terms, n_qubits=n_qubits
             ).cnot_count
             return full, no_hybrid
@@ -87,16 +92,33 @@ class TestSortingAblation:
         assert result.cnot_count <= naive
         assert greedy <= naive
 
+    def test_advanced_sort_stage_not_worse_than_naive_stage(self, water_case):
+        """Stage substitution: swapping the GTSP sort for the naive-order stage
+        must never improve the full pipeline."""
+        hamiltonian, terms = water_case
+        n_qubits = hamiltonian.n_spin_orbitals
+        pipeline = make_pipeline()
+        full = pipeline.run(terms, n_qubits=n_qubits).cnot_count
+        naive = pipeline.with_stage("sort", naive_sort_stage).run(
+            terms, n_qubits=n_qubits
+        ).cnot_count
+        print(f"\n[Ablation/sort-stage] H2O(6): GTSP stage={full}, naive stage={naive}")
+        assert full <= naive
+
     def test_target_freedom_matters(self, water_case):
         """Compare the advanced pipeline against a shared-target baseline on the
         same uncompressed term set (no compression in either flow)."""
         hamiltonian, terms = water_case
         n_qubits = hamiltonian.n_spin_orbitals
-        advanced = make_compiler(
+        advanced = make_pipeline(
             use_bosonic_encoding=False, use_hybrid_encoding=False, use_gamma_search=False
-        ).compile(terms, n_qubits=n_qubits).cnot_count
-        shared_target = BaselineCompiler(use_bosonic_encoding=False).compile(
-            terms, n_qubits=n_qubits
+        ).run(terms, n_qubits=n_qubits).cnot_count
+        shared_target = get_backend("baseline").compile(
+            CompileRequest(
+                terms=tuple(terms),
+                n_qubits=n_qubits,
+                config=BASE_CONFIG.replace(use_bosonic_encoding=False),
+            )
         ).cnot_count
         print(f"\n[Ablation/targets] H2O(6): per-string targets={advanced}, "
               f"shared targets={shared_target}")
@@ -109,8 +131,8 @@ class TestGammaAblation:
         n_qubits = hamiltonian.n_spin_orbitals
 
         def run():
-            with_gamma = make_compiler().compile(terms, n_qubits=n_qubits).cnot_count
-            without_gamma = make_compiler(use_gamma_search=False).compile(
+            with_gamma = make_pipeline().run(terms, n_qubits=n_qubits).cnot_count
+            without_gamma = make_pipeline(use_gamma_search=False).run(
                 terms, n_qubits=n_qubits
             ).cnot_count
             return with_gamma, without_gamma
@@ -122,14 +144,16 @@ class TestGammaAblation:
     def test_sa_gamma_not_worse_than_pso_baseline_search(self, lih_case):
         hamiltonian, terms = lih_case
         n_qubits = hamiltonian.n_spin_orbitals
-        advanced = make_compiler().compile(terms, n_qubits=n_qubits).cnot_count
+        advanced = make_pipeline().run(terms, n_qubits=n_qubits).cnot_count
 
-        pso_baseline = BaselineCompiler()
-        pso_baseline.search_transform(
-            terms, n_qubits=n_qubits, n_particles=6, iterations=4,
-            rng=np.random.default_rng(0),
+        pso_request = CompileRequest(
+            terms=tuple(terms),
+            n_qubits=n_qubits,
+            config=BASE_CONFIG.replace(
+                baseline_pso_particles=6, baseline_pso_iterations=4
+            ),
         )
-        baseline_count = pso_baseline.compile(terms, n_qubits=n_qubits).cnot_count
+        baseline_count = get_backend("baseline").compile(pso_request).cnot_count
         print(f"\n[Ablation/gamma-vs-pso] LiH(6): advanced(SA Γ)={advanced}, "
               f"baseline(PSO upper-triangular Γ)={baseline_count}")
         assert advanced <= baseline_count

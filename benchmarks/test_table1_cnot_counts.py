@@ -1,11 +1,12 @@
 """Benchmark regenerating Table I: CNOT counts under JW / BK / baseline / advanced.
 
-Each benchmark compiles the HMP2-selected UCCSD ansatz of one molecule with
-the paper's advanced pipeline and prints the full Table-I row (all four
-columns plus the improvement percentage).  Absolute counts differ from the
-published table — the excitation-term lists and the baseline solver are
-regenerated from scratch — but the qualitative structure the paper reports is
-asserted programmatically:
+Each benchmark compiles the HMP2-selected UCCSD ansatz of one molecule
+through the unified API — one :class:`~repro.api.CompileRequest` fanned over
+all four registered Table-I backends with :func:`repro.api.compile_batch` —
+and prints the full Table-I row (all four columns plus the improvement
+percentage).  Absolute counts differ from the published table — the
+excitation-term lists and the baseline solver are regenerated from scratch —
+but the qualitative structure the paper reports is asserted programmatically:
 
 * the advanced pipeline never loses to the prior-art baseline,
 * both beat the plain Jordan-Wigner and Bravyi-Kitaev compilations,
@@ -18,9 +19,10 @@ larger water progressions.
 
 import pytest
 
-from repro.baselines import BaselineCompiler, naive_cnot_count
-from repro.core import AdvancedCompiler
-from repro.transforms import BravyiKitaevTransform, JordanWignerTransform
+from repro.api import DEFAULT_BACKEND_NAMES, CompileRequest, CompilerConfig, compile_batch
+
+#: Table-I column order, by canonical backend name.
+BACKENDS = tuple(DEFAULT_BACKEND_NAMES)
 
 #: (molecule, number of HMP2 terms) pairs benchmarked by default.  The larger
 #: Table-I rows (NH3, H2O(17)) are exercised by the run_table1.py script.
@@ -33,16 +35,17 @@ CASES = [
     ("H2O", 8),
 ]
 
+CONFIG = CompilerConfig(
+    gamma_steps=20, sorting_population=16, sorting_generations=20, seed=0
+)
+
 
 def _compile_all(hamiltonian, terms):
-    n_qubits = hamiltonian.n_spin_orbitals
-    jw = naive_cnot_count(terms, JordanWignerTransform(n_qubits))
-    bk = naive_cnot_count(terms, BravyiKitaevTransform(n_qubits))
-    baseline = BaselineCompiler().compile(terms, n_qubits=n_qubits).cnot_count
-    advanced = AdvancedCompiler(
-        gamma_steps=20, sorting_population=16, sorting_generations=20, seed=0
-    ).compile(terms, n_qubits=n_qubits).cnot_count
-    return jw, bk, baseline, advanced
+    request = CompileRequest(
+        terms=tuple(terms), n_qubits=hamiltonian.n_spin_orbitals, config=CONFIG
+    )
+    row = compile_batch([request], backends=BACKENDS).results[0]
+    return tuple(row[name].cnot_count for name in BACKENDS)
 
 
 @pytest.mark.parametrize("molecule,n_terms", CASES, ids=[f"{m}-{n}" for m, n in CASES])

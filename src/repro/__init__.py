@@ -18,15 +18,45 @@ The package is organised bottom-up:
 * :mod:`repro.simulator` — exact statevector simulation and FCI references;
 * :mod:`repro.vqe` — UCCSD terms, HMP2 ordering and the adaptive VQE loop;
 * :mod:`repro.baselines` — the prior-art compiler (the paper's "GT" column);
-* :mod:`repro.core` — the paper's contribution: hybrid encoding, advanced
-  sorting and the advanced fermion-to-qubit transformation (Fig. 2 pipeline).
+* :mod:`repro.core` — the paper's contribution as a staged pipeline: hybrid
+  encoding, advanced sorting and the advanced fermion-to-qubit transformation
+  (the Fig. 2 flow);
+* :mod:`repro.api` — the unified compilation API: the
+  :class:`~repro.api.CompilerBackend` protocol, the string-keyed backend
+  registry, the frozen :class:`~repro.api.CompilerConfig`, and the memoized
+  :func:`~repro.api.compile_batch` service.
 
 Quickstart
 ----------
+Every compilation flow is a backend behind one interface:
+
+>>> from repro.api import CompileRequest, CompilerConfig, get_backend
+>>> request = CompileRequest(terms=terms, config=CompilerConfig(seed=0))
+>>> get_backend("advanced").compile(request).cnot_count
+
+Batches — many ansatz sizes, several backends — compile in one memoized call:
+
+>>> from repro.api import compile_batch
+>>> batch = compile_batch([request], backends=("jw", "bk", "gt", "advanced"))
+>>> batch.results[0]["advanced"].breakdown
+
+The molecule-level convenience API returns a Table-I-style row:
+
 >>> from repro import compile_molecule_ansatz
 >>> report = compile_molecule_ansatz("LiH", n_terms=4)
 >>> report.advanced_cnot_count <= report.jordan_wigner_cnot_count
 True
+
+Migrating from the pre-API entry points
+---------------------------------------
+``AdvancedCompiler(**kwargs).compile(terms)`` and ``compile_advanced(...)``
+still work as deprecation shims; their keyword arguments became fields of the
+frozen :class:`~repro.api.CompilerConfig`, and the monolithic compile body is
+now explicit stages on :class:`~repro.core.AdvancedPipeline` (substitute one
+with ``pipeline.with_stage(name, fn)`` instead of flipping booleans).
+``BaselineCompiler().compile(terms)`` is ``get_backend("baseline")``, and
+``naive_cnot_count(terms, transform)`` is ``get_backend("jw")`` /
+``get_backend("bk")``.
 """
 
 from dataclasses import dataclass
@@ -34,9 +64,20 @@ from typing import List, Optional
 
 __version__ = "0.1.0"
 
+from repro.api import (
+    DEFAULT_BACKEND_NAMES,
+    CompileCache,
+    CompileRequest,
+    CompileResult,
+    CompilerConfig,
+    available_backends,
+    compile_batch,
+    get_backend,
+    register_backend,
+)
 from repro.baselines import BaselineCompiler, naive_cnot_count
 from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
-from repro.core import AdvancedCompiler, compile_advanced
+from repro.core import AdvancedCompiler, AdvancedPipeline, compile_advanced
 from repro.transforms import BravyiKitaevTransform, JordanWignerTransform
 from repro.vqe import ExcitationTerm, select_ansatz_terms
 
@@ -62,20 +103,53 @@ class CompilationReport:
         return 1.0 - self.advanced_cnot_count / self.baseline_cnot_count
 
 
+#: Sentinel telling a legacy keyword of compile_molecule_ansatz apart from an
+#: explicitly passed value (so conflicts with ``config`` can be rejected).
+_UNSET = object()
+
+
 def compile_molecule_ansatz(
     molecule_name: str,
     n_terms: int,
     n_frozen_spatial_orbitals: int = 1,
-    seed: Optional[int] = 0,
-    baseline_pso_iterations: int = 0,
+    seed=_UNSET,
+    baseline_pso_iterations=_UNSET,
+    config: Optional[CompilerConfig] = None,
+    cache: Optional[CompileCache] = None,
+    workers: int = 1,
     **advanced_options,
 ) -> CompilationReport:
     """End-to-end convenience API: molecule name in, Table-I-style row out.
 
     Runs Hartree-Fock, selects the ``n_terms`` most important HMP2 excitation
-    terms, and compiles them with the four flows compared in Table I of the
-    paper (JW, BK, prior-art baseline, and this work's advanced pipeline).
+    terms, and compiles them through :func:`repro.api.compile_batch` with the
+    four flows compared in Table I of the paper (JW, BK, prior-art baseline,
+    and this work's advanced pipeline).  Pass ``config`` to control every
+    knob of every flow; the legacy ``seed`` (default 0) /
+    ``baseline_pso_iterations`` (default 0) / keyword style still works and
+    builds the config for you, but cannot be combined with an explicit
+    ``config``.  On the legacy path the keyword options scope to the advanced
+    flow only (as they always did): the GT column keeps the prior art's own
+    compression setting, so ablating the advanced pipeline never silently
+    moves the baseline it is compared against.
     """
+    if config is None:
+        config = CompilerConfig(
+            seed=0 if seed is _UNSET else seed,
+            baseline_pso_iterations=(
+                0 if baseline_pso_iterations is _UNSET else baseline_pso_iterations
+            ),
+            **advanced_options,
+        )
+        baseline_config = config.replace(use_bosonic_encoding=True)
+    elif advanced_options or seed is not _UNSET or baseline_pso_iterations is not _UNSET:
+        raise TypeError(
+            "pass either config or the legacy seed/baseline_pso_iterations/"
+            "keyword options, not both"
+        )
+    else:
+        baseline_config = config
+
     molecule = make_molecule(molecule_name)
     frozen = n_frozen_spatial_orbitals if molecule_name != "H2" else 0
     scf = run_rhf(molecule)
@@ -83,24 +157,40 @@ def compile_molecule_ansatz(
     terms = select_ansatz_terms(hamiltonian, n_terms)
     n_qubits = hamiltonian.n_spin_orbitals
 
-    jw_count = naive_cnot_count(terms, JordanWignerTransform(n_qubits))
-    bk_count = naive_cnot_count(terms, BravyiKitaevTransform(n_qubits))
-
-    baseline = BaselineCompiler()
-    if baseline_pso_iterations > 0:
-        baseline.search_transform(terms, n_qubits=n_qubits, iterations=baseline_pso_iterations)
-    baseline_count = baseline.compile(terms, n_qubits=n_qubits).cnot_count
-
-    advanced = compile_advanced(terms, n_qubits=n_qubits, seed=seed, **advanced_options)
+    request = CompileRequest(terms=tuple(terms), n_qubits=n_qubits, config=config)
+    if baseline_config == config:
+        row = compile_batch(
+            [request],
+            backends=tuple(DEFAULT_BACKEND_NAMES),
+            workers=workers,
+            cache=cache,
+        ).results[0]
+        baseline_result = row["baseline"]
+    else:
+        # Legacy path with advanced ablation kwargs: the GT column compiles
+        # under its own (prior-art) config, so it needs a separate request.
+        baseline_request = CompileRequest(
+            terms=tuple(terms), n_qubits=n_qubits, config=baseline_config
+        )
+        shared_cache = cache if cache is not None else CompileCache()
+        row = compile_batch(
+            [request],
+            backends=("jordan-wigner", "bravyi-kitaev", "advanced"),
+            workers=workers,
+            cache=shared_cache,
+        ).results[0]
+        baseline_result = compile_batch(
+            [baseline_request], backends=("baseline",), workers=workers, cache=shared_cache
+        ).results[0]["baseline"]
 
     return CompilationReport(
         molecule=molecule_name,
         n_terms=len(terms),
         n_qubits=n_qubits,
-        jordan_wigner_cnot_count=jw_count,
-        bravyi_kitaev_cnot_count=bk_count,
-        baseline_cnot_count=baseline_count,
-        advanced_cnot_count=advanced.cnot_count,
+        jordan_wigner_cnot_count=row["jordan-wigner"].cnot_count,
+        bravyi_kitaev_cnot_count=row["bravyi-kitaev"].cnot_count,
+        baseline_cnot_count=baseline_result.cnot_count,
+        advanced_cnot_count=row["advanced"].cnot_count,
         terms=list(terms),
     )
 
@@ -109,6 +199,18 @@ __all__ = [
     "__version__",
     "CompilationReport",
     "compile_molecule_ansatz",
+    # unified API
+    "DEFAULT_BACKEND_NAMES",
+    "CompileCache",
+    "CompileRequest",
+    "CompileResult",
+    "CompilerConfig",
+    "available_backends",
+    "compile_batch",
+    "get_backend",
+    "register_backend",
+    # pipeline + deprecated shims
+    "AdvancedPipeline",
     "AdvancedCompiler",
     "compile_advanced",
     "BaselineCompiler",

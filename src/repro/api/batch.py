@@ -1,0 +1,225 @@
+"""Batch compilation service: memoized, optionally parallel, multi-backend.
+
+:func:`compile_batch` runs many :class:`~repro.api.backend.CompileRequest`
+jobs across one or more backends in a single call.  Identical jobs — same
+terms fingerprint, backend and config — are compiled once and served from a
+:class:`CompileCache`, which can be kept across calls so warm batches skip
+recompilation entirely.  With ``workers > 1`` the outstanding jobs fan out
+over a process pool (every flow is CPU-bound pure Python, so threads would
+not help).
+
+>>> from repro.api import CompileRequest, CompileCache, compile_batch
+>>> cache = CompileCache()
+>>> batch = compile_batch(requests, backends=("baseline", "advanced"), cache=cache)
+>>> batch.results[0]["advanced"].cnot_count
+>>> compile_batch(requests, backends="advanced", cache=cache).cache_hits  # warm
+len(requests)
+
+Worker processes resolve backends by name from their own registry.  The four
+default backends are always available there; custom backends reach workers
+only on platforms whose process start method is ``fork`` (Linux), because a
+``spawn``-ed worker imports just :mod:`repro.api` and never the module that
+registered the custom backend — on spawn platforms run custom backends with
+``workers=1``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.backend import (
+    CompileRequest,
+    CompileResult,
+    canonical_backend_name,
+    get_backend,
+)
+
+#: A memoization key: (request fingerprint, canonical backend name).
+CacheKey = Tuple[Hashable, str]
+
+
+@dataclass
+class CompileCache:
+    """In-memory memoization of compile results with hit/miss accounting."""
+
+    _store: Dict[CacheKey, CompileResult] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    @staticmethod
+    def key(request: CompileRequest, backend_name: str) -> CacheKey:
+        """Memoization key; config is excluded for config-blind backends.
+
+        A backend declaring ``uses_config = False`` (the naive JW/BK flows)
+        compiles identically under every config, so sweeps over pipeline
+        knobs share its cache entries.
+        """
+        backend = get_backend(backend_name)
+        if getattr(backend, "uses_config", True):
+            return (request.fingerprint, backend.name)
+        return (request.input_fingerprint, backend.name)
+
+    def get(self, key: CacheKey) -> Optional[CompileResult]:
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def peek(self, key: CacheKey) -> Optional[CompileResult]:
+        """Like :meth:`get` but without touching the hit/miss counters."""
+        return self._store.get(key)
+
+    def put(self, key: CacheKey, result: CompileResult) -> None:
+        self._store[key] = result
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._store
+
+
+class BackendResults(Dict[str, CompileResult]):
+    """One request's results, keyed by canonical backend name.
+
+    Lookup also accepts registered aliases, so ``row["jw"]`` and
+    ``row["jordan-wigner"]`` return the same result.
+    """
+
+    def __missing__(self, key: str) -> CompileResult:
+        canonical = canonical_backend_name(key)
+        if canonical == key:
+            raise KeyError(key)
+        return self[canonical]
+
+    def __contains__(self, key: object) -> bool:
+        if super().__contains__(key):
+            return True
+        try:
+            return super().__contains__(canonical_backend_name(str(key)))
+        except KeyError:
+            return False
+
+    def get(self, key: str, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :func:`compile_batch` call.
+
+    ``results`` holds one mapping per input request, keyed by canonical
+    backend name (alias lookup works too), in request order.
+    """
+
+    results: List[BackendResults]
+    backends: Tuple[str, ...]
+    cache_hits: int
+    cache_misses: int
+    wall_time_s: float
+
+    def cnot_counts(self, backend: str) -> List[int]:
+        """The per-request CNOT counts of one backend, in request order."""
+        canonical = canonical_backend_name(backend)
+        return [row[canonical].cnot_count for row in self.results]
+
+
+def _compile_job(job: Tuple[str, CompileRequest]) -> CompileResult:
+    """Worker entry point: resolve the backend by name and compile."""
+    backend_name, request = job
+    return get_backend(backend_name).compile(request)
+
+
+def compile_batch(
+    requests: Sequence[CompileRequest],
+    backends: Union[str, Sequence[str]] = "advanced",
+    workers: int = 1,
+    cache: Optional[CompileCache] = None,
+    executor: Optional[Executor] = None,
+) -> BatchResult:
+    """Compile every request with every backend, memoized and deduplicated.
+
+    Parameters
+    ----------
+    requests:
+        The compilation jobs; each carries its own terms and config.
+    backends:
+        One backend name/alias or a sequence of them; every request is
+        compiled by each.
+    workers:
+        Process-pool width for the jobs the cache cannot serve; ``1`` (the
+        default) stays in-process.
+    cache:
+        A :class:`CompileCache` reused across calls.  Omitted, a private
+        cache still deduplicates identical jobs inside this batch.
+    executor:
+        A caller-owned :class:`concurrent.futures.Executor` to run the jobs
+        on instead of a per-call pool, so many small batches (e.g. one per
+        Table-I row) amortize one pool's startup cost.  Overrides ``workers``;
+        the caller shuts it down.
+    """
+    requests = list(requests)
+    if isinstance(backends, str):
+        backends = (backends,)
+    canonical_names = tuple(canonical_backend_name(name) for name in backends)
+    if len(set(canonical_names)) != len(canonical_names):
+        raise ValueError(f"duplicate backends requested: {canonical_names}")
+    cache = cache if cache is not None else CompileCache()
+
+    start = time.perf_counter()
+    hits_before, misses_before = cache.hits, cache.misses
+
+    # One lookup per (request, backend) pair; identical pairs collapse onto
+    # the same key, so each distinct job is compiled at most once.  A pair
+    # counts as a miss only when it is the one that triggers a compilation;
+    # duplicates inside the batch are hits, they cost nothing.
+    keys: List[List[CacheKey]] = [
+        [CompileCache.key(request, name) for name in canonical_names]
+        for request in requests
+    ]
+    pending: Dict[CacheKey, Tuple[str, CompileRequest]] = {}
+    for request, request_keys in zip(requests, keys):
+        for key, name in zip(request_keys, canonical_names):
+            if key in pending:
+                cache.hits += 1  # deduplicated within this batch, costs nothing
+            elif cache.get(key) is None:  # get() counts the hit or miss
+                pending[key] = (name, request)
+
+    jobs = list(pending.items())
+    if executor is not None and len(jobs) > 1:
+        compiled = list(executor.map(_compile_job, [job for _, job in jobs]))
+    elif workers > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            compiled = list(pool.map(_compile_job, [job for _, job in jobs]))
+    else:
+        compiled = [_compile_job(job) for _, job in jobs]
+    for (key, _), result in zip(jobs, compiled):
+        cache.put(key, result)
+
+    results: List[BackendResults] = [
+        BackendResults(
+            (name, cache.peek(key)) for key, name in zip(request_keys, canonical_names)
+        )
+        for request_keys in keys
+    ]
+
+    return BatchResult(
+        results=results,
+        backends=canonical_names,
+        cache_hits=cache.hits - hits_before,
+        cache_misses=cache.misses - misses_before,
+        wall_time_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,10 @@
+"""Public home of :class:`CompilerConfig`.
+
+The dataclass itself lives in :mod:`repro.core.config` so the pipeline stages
+can consume it without importing the API layer; this module is the import
+path user code should rely on.
+"""
+
+from repro.core.config import CompilerConfig
+
+__all__ = ["CompilerConfig"]

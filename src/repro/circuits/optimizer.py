@@ -67,7 +67,10 @@ def _try_cancel_or_merge(
             gates[start] = None
             gates[later] = None
             return True
-        # Same-axis rotations on the same qubit merge into one.
+        # Same-axis rotations on the same qubit merge into one.  The merged
+        # rotation must live at the *later* position: the scan has only
+        # verified that ``gate`` commutes forward past the intervening gates,
+        # not that ``other`` commutes backward past them.
         if (
             gate.is_parametrized
             and other.is_parametrized
@@ -75,11 +78,11 @@ def _try_cancel_or_merge(
             and gate.qubits == other.qubits
         ):
             merged_angle = gate.parameter + other.parameter
-            gates[later] = None
+            gates[start] = None
             if abs(math.remainder(merged_angle, 4 * math.pi)) <= ANGLE_TOLERANCE:
-                gates[start] = None
+                gates[later] = None
             else:
-                gates[start] = Gate(gate.name, gate.qubits, merged_angle)
+                gates[later] = Gate(gate.name, gate.qubits, merged_angle)
             return True
         # Otherwise the search can continue only if the two gates commute.
         if not gates_commute(gate, other):

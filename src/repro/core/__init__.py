@@ -15,7 +15,10 @@ from repro.core.advanced_sorting import (
     baseline_order_cnot_count,
     build_sorting_problem,
     greedy_sort,
+    result_to_tour,
+    term_block_tour,
 )
+from repro.core.config import CompilerConfig
 from repro.core.gamma_search import (
     GammaSearchResult,
     assemble_gamma,
@@ -34,9 +37,19 @@ from repro.core.hybrid_encoding import (
     symmetric_pair,
 )
 from repro.core.pipeline import (
+    DEFAULT_STAGES,
     AdvancedCompilationResult,
     AdvancedCompiler,
+    AdvancedPipeline,
+    StageContext,
+    account_stage,
+    classify_stage,
     compile_advanced,
+    gamma_search_stage,
+    naive_sort_stage,
+    schedule_hybrid_stage,
+    sort_stage,
+    transform_stage,
 )
 from repro.core.terms_to_paulis import (
     PauliRotation,
@@ -48,7 +61,20 @@ from repro.core.terms_to_paulis import (
 __all__ = [
     "AdvancedCompiler",
     "AdvancedCompilationResult",
+    "AdvancedPipeline",
+    "CompilerConfig",
+    "StageContext",
+    "DEFAULT_STAGES",
+    "classify_stage",
+    "schedule_hybrid_stage",
+    "gamma_search_stage",
+    "transform_stage",
+    "sort_stage",
+    "naive_sort_stage",
+    "account_stage",
     "compile_advanced",
+    "result_to_tour",
+    "term_block_tour",
     "HybridSchedule",
     "classify_terms",
     "schedule_hybrid_terms",

@@ -1,16 +1,29 @@
-"""The full compilation and optimization pipeline of Fig. 2.
+"""The full compilation and optimization pipeline of Fig. 2, as explicit stages.
 
 Given a set of HMP2-selected excitation terms the pipeline:
 
-1. classifies every term as bosonic, hybrid or fermionic (Sec. III-A);
-2. compiles bosonic terms in compressed form (2 CNOTs each, [8]);
-3. schedules hybrid terms with the sink/source peeling + graph-coloring
-   procedure and compiles the compressible ones at 7 CNOTs each (Fig. 3(a)),
-   folding the rest into the fermionic class;
-4. compiles the fermionic class (plus folded hybrids and all singles) with the
-   advanced fermion-to-qubit transformation — a block-diagonal Γ searched by
-   simulated annealing — and the GTSP-based advanced sorting;
-5. reports the total CNOT count and the per-segment breakdown.
+1. **classify** — classifies every term as bosonic, hybrid or fermionic
+   (Sec. III-A); bosonic terms compile in compressed form (2 CNOTs each, [8]);
+2. **schedule_hybrid** — schedules hybrid terms with the sink/source peeling +
+   graph-coloring procedure and compiles the compressible ones at 7 CNOTs each
+   (Fig. 3(a)), folding the rest into the fermionic class;
+3. **gamma_search** — searches a block-diagonal Γ for the advanced
+   fermion-to-qubit transformation by simulated annealing (Sec. III-C);
+4. **transform** — expands the fermionic class (plus folded hybrids and all
+   singles) into targeted Pauli rotations under the chosen Γ;
+5. **sort** — orders the rotations with the GTSP-based advanced sorting
+   (Sec. III-B);
+6. **account** — totals the CNOT count and the per-segment breakdown.
+
+Every stage is an ordinary function mutating a shared :class:`StageContext`,
+so ablations and experiments are *stage substitutions*
+(:meth:`AdvancedPipeline.with_stage`) rather than boolean flags, and each
+stage is unit-testable in isolation.  All knobs live in one frozen
+:class:`~repro.core.config.CompilerConfig`.
+
+:class:`AdvancedCompiler` and :func:`compile_advanced` remain as thin
+deprecation shims over :class:`AdvancedPipeline`; new code should go through
+``repro.api`` (``get_backend("advanced").compile(request)``).
 
 The result object also knows how to emit an explicit gate-level circuit for
 the fermionic segment (the compressed segments are accounted for with their
@@ -19,14 +32,23 @@ certified per-term costs, since they act on compressed registers).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits import Circuit, exponential_sequence_circuit, optimize_circuit
-from repro.core.advanced_sorting import SortingResult, advanced_sort, greedy_sort
-from repro.core.gamma_search import GammaSearchResult, search_block_diagonal_gamma
+from repro.core.advanced_sorting import (
+    SortingResult,
+    advanced_sort,
+    baseline_order_cnot_count,
+    greedy_sort,
+    result_to_tour,
+    term_block_tour,
+)
+from repro.core.config import CompilerConfig
+from repro.core.gamma_search import search_block_diagonal_gamma
 from repro.core.hybrid_encoding import (
     BOSONIC_TERM_CNOT_COST,
     HYBRID_TERM_CNOT_COST,
@@ -34,7 +56,7 @@ from repro.core.hybrid_encoding import (
     classify_terms,
     schedule_hybrid_terms,
 )
-from repro.core.terms_to_paulis import required_qubits, terms_to_rotations
+from repro.core.terms_to_paulis import PauliRotation, required_qubits, terms_to_rotations
 from repro.transforms import LinearEncodingTransform, identity_matrix
 from repro.vqe import ExcitationTerm
 
@@ -79,22 +101,307 @@ class AdvancedCompilationResult:
         return optimize_circuit(circuit) if optimize else circuit
 
 
-class AdvancedCompiler:
-    """The paper's advanced compilation and optimization methodology.
+# ----------------------------------------------------------------------
+# Stage machinery
+# ----------------------------------------------------------------------
+@dataclass
+class StageContext:
+    """Mutable state shared by the pipeline stages of one compilation run.
+
+    A stage reads the fields produced by its predecessors and writes its own;
+    the ``account`` stage assembles :attr:`result`.  Custom stages swapped in
+    via :meth:`AdvancedPipeline.with_stage` receive the same context.
+    """
+
+    terms: List[ExcitationTerm]
+    n_qubits: int
+    config: CompilerConfig
+    rng: np.random.Generator
+    parameters: Optional[Sequence[float]] = None
+    # classify
+    classes: Dict[str, List[ExcitationTerm]] = field(default_factory=dict)
+    bosonic_terms: List[ExcitationTerm] = field(default_factory=list)
+    bosonic_cnot_count: int = 0
+    hybrid_terms: List[ExcitationTerm] = field(default_factory=list)
+    fermionic_terms: List[ExcitationTerm] = field(default_factory=list)
+    # schedule_hybrid
+    hybrid_schedule: HybridSchedule = field(
+        default_factory=lambda: HybridSchedule([], [], [], [], n_colors=0)
+    )
+    hybrid_cnot_count: int = 0
+    # gamma_search
+    term_parameters: Optional[List[float]] = None
+    gamma: Optional[np.ndarray] = None
+    # transform
+    rotations: List[PauliRotation] = field(default_factory=list)
+    # sort
+    sorting: SortingResult = field(
+        default_factory=lambda: SortingResult(ordered_rotations=[], cnot_count=0)
+    )
+    # account
+    result: Optional[AdvancedCompilationResult] = None
+
+
+Stage = Callable[[StageContext], None]
+
+
+def classify_stage(context: StageContext) -> None:
+    """Partition terms into bosonic / hybrid / fermionic and cost the bosonic ones.
+
+    Terms of a *disabled* compressed class fold back into the fermionic path
+    in their original positions: the greedy sorter and the Γ cost function are
+    order-sensitive, so ablation flows must see the caller's HMP2 ordering,
+    not a reshuffled one.
+    """
+    config = context.config
+    context.classes = classify_terms(context.terms)
+    context.bosonic_terms = (
+        list(context.classes["bosonic"]) if config.use_bosonic_encoding else []
+    )
+    context.hybrid_terms = (
+        list(context.classes["hybrid"]) if config.use_hybrid_encoding else []
+    )
+    kept = {"fermionic"}
+    if not config.use_bosonic_encoding:
+        kept.add("bosonic")
+    if not config.use_hybrid_encoding:
+        kept.add("hybrid")
+    context.fermionic_terms = [
+        term for term in context.terms if term.encoding_class in kept
+    ]
+    context.bosonic_cnot_count = BOSONIC_TERM_CNOT_COST * len(context.bosonic_terms)
+
+
+def schedule_hybrid_stage(context: StageContext) -> None:
+    """Sink/source peeling + graph coloring of the hybrid class (Fig. 3(a))."""
+    if context.hybrid_terms:
+        schedule = schedule_hybrid_terms(
+            context.hybrid_terms,
+            n_coloring_orders=context.config.coloring_orders,
+            rng=context.rng,
+        )
+        context.fermionic_terms = context.fermionic_terms + list(
+            schedule.uncompressed_terms
+        )
+    else:
+        schedule = HybridSchedule([], [], [], [], n_colors=0)
+    context.hybrid_schedule = schedule
+    context.hybrid_cnot_count = HYBRID_TERM_CNOT_COST * schedule.n_compressed
+
+
+def _resolve_term_parameters(context: StageContext) -> Optional[List[float]]:
+    """Per-fermionic-term variational parameters, aligned after class folding."""
+    if context.parameters is None:
+        return None
+    index_of = {
+        id(term): context.parameters[i] for i, term in enumerate(context.terms)
+    }
+    return [index_of.get(id(term), 1.0) for term in context.fermionic_terms]
+
+
+def gamma_search_stage(context: StageContext) -> None:
+    """Simulated-annealing search of the block-diagonal Γ (Sec. III-C)."""
+    context.gamma = identity_matrix(context.n_qubits)
+    if not context.fermionic_terms or not context.config.use_gamma_search:
+        return
+
+    fermionic = context.fermionic_terms
+    term_parameters = _resolve_term_parameters(context)
+
+    def sorting_cost(candidate_gamma: np.ndarray) -> float:
+        transform = LinearEncodingTransform(candidate_gamma)
+        rotations = terms_to_rotations(fermionic, transform, term_parameters)
+        return float(greedy_sort(rotations).cnot_count)
+
+    search = search_block_diagonal_gamma(
+        fermionic,
+        context.n_qubits,
+        cost_function=sorting_cost,
+        n_steps=context.config.gamma_steps,
+        rng=context.rng,
+    )
+    context.gamma = search.gamma
+
+
+def transform_stage(context: StageContext) -> None:
+    """Expand the fermionic class into Pauli rotations under the chosen Γ."""
+    context.rotations = []
+    if not context.fermionic_terms:
+        return
+    # Resolved here, not in gamma_search_stage, so a substituted Γ stage
+    # cannot silently drop the caller's variational parameters.
+    context.term_parameters = _resolve_term_parameters(context)
+    transform = LinearEncodingTransform(context.gamma)
+    context.rotations = terms_to_rotations(
+        context.fermionic_terms, transform, context.term_parameters
+    )
+
+
+def sort_stage(context: StageContext) -> None:
+    """GTSP advanced sorting with a greedy fallback (Sec. III-B)."""
+    context.sorting = SortingResult(ordered_rotations=[], cnot_count=0)
+    if not context.rotations:
+        return
+    config = context.config
+    if not config.use_advanced_sorting:
+        naive_sort_stage(context)
+        return
+    greedy = greedy_sort(context.rotations)
+    seed_tours = None
+    if config.sorting_seed_tours:
+        seed_tours = [
+            result_to_tour(context.rotations, greedy),
+            term_block_tour(context.rotations),
+        ]
+    sorting = advanced_sort(
+        context.rotations,
+        population_size=config.sorting_population,
+        generations=config.sorting_generations,
+        rng=context.rng,
+        seed_tours=seed_tours,
+    )
+    if greedy.cnot_count < sorting.cnot_count:
+        sorting = greedy
+    context.sorting = sorting
+
+
+def naive_sort_stage(context: StageContext) -> None:
+    """Ablation reference: naive term order with default (last-support) targets."""
+    if not context.rotations:
+        context.sorting = SortingResult(ordered_rotations=[], cnot_count=0)
+        return
+    naive = baseline_order_cnot_count(context.rotations)
+    default_order = [
+        (rotation, rotation.string.support[-1]) for rotation in context.rotations
+    ]
+    context.sorting = SortingResult(ordered_rotations=default_order, cnot_count=naive)
+
+
+def account_stage(context: StageContext) -> None:
+    """Total the per-segment CNOT counts into the final result object."""
+    gamma = context.gamma if context.gamma is not None else identity_matrix(context.n_qubits)
+    total = (
+        context.bosonic_cnot_count
+        + context.hybrid_cnot_count
+        + context.sorting.cnot_count
+    )
+    context.result = AdvancedCompilationResult(
+        cnot_count=total,
+        n_qubits=context.n_qubits,
+        bosonic_terms=context.bosonic_terms,
+        bosonic_cnot_count=context.bosonic_cnot_count,
+        hybrid_schedule=context.hybrid_schedule,
+        hybrid_cnot_count=context.hybrid_cnot_count,
+        fermionic_terms=context.fermionic_terms,
+        fermionic_cnot_count=context.sorting.cnot_count,
+        gamma=gamma,
+        sorting=context.sorting,
+    )
+
+
+#: The Fig. 2 flow as an ordered list of named stages.
+DEFAULT_STAGES: Tuple[Tuple[str, Stage], ...] = (
+    ("classify", classify_stage),
+    ("schedule_hybrid", schedule_hybrid_stage),
+    ("gamma_search", gamma_search_stage),
+    ("transform", transform_stage),
+    ("sort", sort_stage),
+    ("account", account_stage),
+)
+
+
+class AdvancedPipeline:
+    """The paper's advanced compilation methodology as a staged pipeline.
 
     Parameters
     ----------
-    use_bosonic_encoding, use_hybrid_encoding, use_gamma_search,
-    use_advanced_sorting:
-        Feature switches used both by the headline pipeline (all True) and the
-        ablation benchmarks.
-    gamma_steps:
-        Simulated-annealing proposals for the Γ search.
-    sorting_population, sorting_generations:
-        GTSP genetic-algorithm budget for the final sorting pass.
-    seed:
-        Seed of the internal random generator (the pipeline is deterministic
-        for a fixed seed).
+    config:
+        Frozen :class:`~repro.core.config.CompilerConfig`; defaults used when
+        omitted.
+    stages:
+        Ordered ``(name, stage)`` pairs; :data:`DEFAULT_STAGES` when omitted.
+        Use :meth:`with_stage` to substitute a single stage (the ablation
+        mechanism).
+    """
+
+    def __init__(
+        self,
+        config: Optional[CompilerConfig] = None,
+        stages: Optional[Sequence[Tuple[str, Stage]]] = None,
+    ):
+        self.config = config if config is not None else CompilerConfig()
+        self.stages: Tuple[Tuple[str, Stage], ...] = (
+            tuple(stages) if stages is not None else DEFAULT_STAGES
+        )
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [name for name, _ in self.stages]
+
+    def with_config(self, **changes) -> "AdvancedPipeline":
+        """A pipeline with the same stages and an updated config."""
+        return AdvancedPipeline(self.config.replace(**changes), self.stages)
+
+    def with_stage(self, name: str, stage: Stage) -> "AdvancedPipeline":
+        """A pipeline with the named stage substituted (ablations, experiments)."""
+        if name not in self.stage_names:
+            raise KeyError(
+                f"unknown stage {name!r}; pipeline stages are {self.stage_names}"
+            )
+        stages = tuple(
+            (existing_name, stage if existing_name == name else existing_stage)
+            for existing_name, existing_stage in self.stages
+        )
+        return AdvancedPipeline(self.config, stages)
+
+    def make_context(
+        self,
+        terms: Sequence[ExcitationTerm],
+        n_qubits: Optional[int] = None,
+        parameters: Optional[Sequence[float]] = None,
+    ) -> StageContext:
+        """Validate inputs and build the shared context the stages mutate."""
+        terms = list(terms)
+        if not terms:
+            raise ValueError("cannot compile an empty term list")
+        if n_qubits is None:
+            n_qubits = required_qubits(terms)
+        return StageContext(
+            terms=terms,
+            n_qubits=n_qubits,
+            config=self.config,
+            rng=np.random.default_rng(self.config.seed),
+            parameters=parameters,
+        )
+
+    def run(
+        self,
+        terms: Sequence[ExcitationTerm],
+        n_qubits: Optional[int] = None,
+        parameters: Optional[Sequence[float]] = None,
+    ) -> AdvancedCompilationResult:
+        """Run every stage in order and return the accounted result."""
+        context = self.make_context(terms, n_qubits=n_qubits, parameters=parameters)
+        for _, stage in self.stages:
+            stage(context)
+        if context.result is None:
+            raise RuntimeError(
+                "pipeline finished without producing a result; "
+                "did a stage substitution drop the 'account' stage?"
+            )
+        return context.result
+
+
+# ----------------------------------------------------------------------
+# Deprecated entry points
+# ----------------------------------------------------------------------
+class AdvancedCompiler:
+    """Deprecated kwarg-style front end to :class:`AdvancedPipeline`.
+
+    Retained so existing callers keep working; new code should build a
+    :class:`~repro.core.config.CompilerConfig` and use ``repro.api``
+    (``get_backend("advanced")``) or :class:`AdvancedPipeline` directly.
+    The constructor arguments mirror :class:`CompilerConfig` fields.
     """
 
     def __init__(
@@ -109,6 +416,12 @@ class AdvancedCompiler:
         coloring_orders: int = 20,
         seed: Optional[int] = 0,
     ):
+        warnings.warn(
+            "AdvancedCompiler is deprecated; use repro.api.get_backend('advanced') "
+            "or repro.core.AdvancedPipeline with a CompilerConfig",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.use_bosonic_encoding = use_bosonic_encoding
         self.use_hybrid_encoding = use_hybrid_encoding
         self.use_gamma_search = use_gamma_search
@@ -119,12 +432,20 @@ class AdvancedCompiler:
         self.coloring_orders = coloring_orders
         self.seed = seed
 
-    def _rng(self) -> np.random.Generator:
-        return np.random.default_rng(self.seed)
+    def to_config(self) -> CompilerConfig:
+        """The equivalent frozen config (reads the current attribute values)."""
+        return CompilerConfig(
+            use_bosonic_encoding=self.use_bosonic_encoding,
+            use_hybrid_encoding=self.use_hybrid_encoding,
+            use_gamma_search=self.use_gamma_search,
+            use_advanced_sorting=self.use_advanced_sorting,
+            gamma_steps=self.gamma_steps,
+            sorting_population=self.sorting_population,
+            sorting_generations=self.sorting_generations,
+            coloring_orders=self.coloring_orders,
+            seed=self.seed,
+        )
 
-    # ------------------------------------------------------------------
-    # Pipeline
-    # ------------------------------------------------------------------
     def compile(
         self,
         terms: Sequence[ExcitationTerm],
@@ -132,92 +453,8 @@ class AdvancedCompiler:
         parameters: Optional[Sequence[float]] = None,
     ) -> AdvancedCompilationResult:
         """Run the full Fig. 2 flow on an excitation-term list."""
-        terms = list(terms)
-        if not terms:
-            raise ValueError("cannot compile an empty term list")
-        if n_qubits is None:
-            n_qubits = required_qubits(terms)
-        rng = self._rng()
-
-        classes = classify_terms(terms)
-        bosonic = classes["bosonic"] if self.use_bosonic_encoding else []
-        hybrid = classes["hybrid"] if self.use_hybrid_encoding else []
-        fermionic = list(classes["fermionic"])
-        if not self.use_bosonic_encoding:
-            fermionic.extend(classes["bosonic"])
-        if not self.use_hybrid_encoding:
-            fermionic.extend(classes["hybrid"])
-
-        bosonic_cnots = BOSONIC_TERM_CNOT_COST * len(bosonic)
-
-        if hybrid:
-            schedule = schedule_hybrid_terms(
-                hybrid, n_coloring_orders=self.coloring_orders, rng=rng
-            )
-            fermionic.extend(schedule.uncompressed_terms)
-        else:
-            schedule = HybridSchedule([], [], [], [], n_colors=0)
-        hybrid_cnots = HYBRID_TERM_CNOT_COST * schedule.n_compressed
-
-        gamma = identity_matrix(n_qubits)
-        sorting = SortingResult(ordered_rotations=[], cnot_count=0)
-        if fermionic:
-            term_parameters = None
-            if parameters is not None:
-                index_of = {id(term): parameters[i] for i, term in enumerate(terms)}
-                term_parameters = [index_of.get(id(term), 1.0) for term in fermionic]
-
-            def sorting_cost(candidate_gamma: np.ndarray) -> float:
-                transform = LinearEncodingTransform(candidate_gamma)
-                rotations = terms_to_rotations(fermionic, transform, term_parameters)
-                return float(greedy_sort(rotations).cnot_count)
-
-            if self.use_gamma_search:
-                search = search_block_diagonal_gamma(
-                    fermionic,
-                    n_qubits,
-                    cost_function=sorting_cost,
-                    n_steps=self.gamma_steps,
-                    rng=rng,
-                )
-                gamma = search.gamma
-
-            transform = LinearEncodingTransform(gamma)
-            rotations = terms_to_rotations(fermionic, transform, term_parameters)
-            if self.use_advanced_sorting:
-                sorting = advanced_sort(
-                    rotations,
-                    population_size=self.sorting_population,
-                    generations=self.sorting_generations,
-                    rng=rng,
-                )
-                greedy = greedy_sort(rotations)
-                if greedy.cnot_count < sorting.cnot_count:
-                    sorting = greedy
-            else:
-                sorting = greedy_sort(rotations)
-                # Without advanced sorting, fall back to the naive order with
-                # default targets (the ablation reference).
-                from repro.core.advanced_sorting import baseline_order_cnot_count
-
-                naive = baseline_order_cnot_count(rotations)
-                default_order = [
-                    (rotation, rotation.string.support[-1]) for rotation in rotations
-                ]
-                sorting = SortingResult(ordered_rotations=default_order, cnot_count=naive)
-
-        total = bosonic_cnots + hybrid_cnots + sorting.cnot_count
-        return AdvancedCompilationResult(
-            cnot_count=total,
-            n_qubits=n_qubits,
-            bosonic_terms=bosonic,
-            bosonic_cnot_count=bosonic_cnots,
-            hybrid_schedule=schedule,
-            hybrid_cnot_count=hybrid_cnots,
-            fermionic_terms=fermionic,
-            fermionic_cnot_count=sorting.cnot_count,
-            gamma=gamma,
-            sorting=sorting,
+        return AdvancedPipeline(self.to_config()).run(
+            terms, n_qubits=n_qubits, parameters=parameters
         )
 
 
@@ -227,5 +464,15 @@ def compile_advanced(
     seed: Optional[int] = 0,
     **options,
 ) -> AdvancedCompilationResult:
-    """Convenience wrapper: run :class:`AdvancedCompiler` with default settings."""
-    return AdvancedCompiler(seed=seed, **options).compile(terms, n_qubits=n_qubits)
+    """Deprecated convenience wrapper over :class:`AdvancedPipeline`.
+
+    Prefer ``get_backend("advanced").compile(request)`` from :mod:`repro.api`.
+    """
+    warnings.warn(
+        "compile_advanced is deprecated; use repro.api.get_backend('advanced') "
+        "or repro.core.AdvancedPipeline",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    config = CompilerConfig(seed=seed, **options)
+    return AdvancedPipeline(config).run(terms, n_qubits=n_qubits)

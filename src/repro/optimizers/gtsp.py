@@ -186,6 +186,23 @@ def _cluster_optimization(
             chromosome.choices[cluster] = best_assignment[layer]
 
 
+def _chromosome_from_tour(
+    problem: GtspProblem, tour: Sequence[Tuple[int, Vertex]]
+) -> _Chromosome:
+    """Build a chromosome from an explicit ``(cluster, vertex)`` tour."""
+    if sorted(cluster for cluster, _ in tour) != list(range(problem.n_clusters)):
+        raise ValueError("seed tour must visit every cluster exactly once")
+    order: List[int] = []
+    choices = [0] * problem.n_clusters
+    for cluster, vertex in tour:
+        vertices = list(problem.clusters[cluster])
+        if vertex not in vertices:
+            raise ValueError(f"seed tour vertex {vertex!r} is not in cluster {cluster}")
+        order.append(int(cluster))
+        choices[cluster] = vertices.index(vertex)
+    return _Chromosome(order, choices)
+
+
 def solve_gtsp(
     problem: GtspProblem,
     population_size: int = 40,
@@ -194,8 +211,15 @@ def solve_gtsp(
     elite_fraction: float = 0.2,
     cluster_optimization_rate: float = 0.25,
     rng: Optional[np.random.Generator] = None,
+    initial_tours: Optional[Sequence[Sequence[Tuple[int, Vertex]]]] = None,
 ) -> GtspResult:
-    """Solve a GTSP instance with the genetic algorithm described above."""
+    """Solve a GTSP instance with the genetic algorithm described above.
+
+    ``initial_tours`` seeds the starting population with known-good tours
+    (e.g. the greedy nearest-neighbour construction), so the search never
+    finishes worse than its best seed.  The random part of the population
+    draws the same generator stream with or without seeds.
+    """
     rng = rng or np.random.default_rng()
     if population_size < 2:
         raise ValueError("population_size must be at least 2")
@@ -204,6 +228,9 @@ def solve_gtsp(
         return problem.tour_cost(chromosome.tour(problem))
 
     population = [_random_chromosome(problem, rng) for _ in range(population_size)]
+    if initial_tours:
+        seeds = [_chromosome_from_tour(problem, tour) for tour in initial_tours]
+        population[: len(seeds)] = seeds[:population_size]
     for chromosome in population:
         _cluster_optimization(chromosome, problem)
     costs = [cost_of(c) for c in population]

@@ -1,0 +1,80 @@
+"""Tests for the frozen CompilerConfig."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import CompilerConfig
+
+
+class TestDefaults:
+    def test_default_matches_historical_pipeline_knobs(self):
+        config = CompilerConfig()
+        assert config.use_bosonic_encoding
+        assert config.use_hybrid_encoding
+        assert config.use_gamma_search
+        assert config.use_advanced_sorting
+        assert config.gamma_steps == 40
+        assert config.sorting_population == 24
+        assert config.sorting_generations == 30
+        assert config.coloring_orders == 20
+        assert config.seed == 0
+        assert config.baseline_pso_iterations == 0
+
+    def test_frozen(self):
+        config = CompilerConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.gamma_steps = 99
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("gamma_steps", -1),
+            ("sorting_population", 1),
+            ("sorting_generations", -2),
+            ("coloring_orders", 0),
+            ("baseline_pso_particles", 0),
+            ("baseline_pso_iterations", -1),
+            ("seed", -5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            CompilerConfig(**{field: value})
+
+    def test_replace_revalidates(self):
+        config = CompilerConfig()
+        with pytest.raises(ValueError):
+            config.replace(sorting_population=0)
+
+    def test_population_unchecked_when_advanced_sorting_disabled(self):
+        # the historical compiler accepted this combination: the GA never runs
+        config = CompilerConfig(sorting_population=1, use_advanced_sorting=False)
+        assert config.sorting_population == 1
+
+    def test_seed_none_allowed(self):
+        assert CompilerConfig(seed=None).seed is None
+
+
+class TestHashability:
+    def test_usable_as_dict_key(self):
+        table = {CompilerConfig(): "default", CompilerConfig(seed=7): "seeded"}
+        assert table[CompilerConfig()] == "default"
+        assert table[CompilerConfig(seed=7)] == "seeded"
+
+    def test_equality_is_field_wise(self):
+        assert CompilerConfig() == CompilerConfig()
+        assert CompilerConfig() != CompilerConfig(gamma_steps=41)
+        assert hash(CompilerConfig()) == hash(CompilerConfig())
+
+    def test_fingerprint_distinguishes_configs(self):
+        assert CompilerConfig().fingerprint != CompilerConfig(seed=1).fingerprint
+
+    def test_replace_returns_new_config(self):
+        config = CompilerConfig()
+        ablated = config.replace(use_hybrid_encoding=False)
+        assert config.use_hybrid_encoding
+        assert not ablated.use_hybrid_encoding
+        assert ablated != config

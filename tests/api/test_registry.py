@@ -1,0 +1,115 @@
+"""Tests for the CompilerBackend protocol and the backend registry."""
+
+import pytest
+
+from repro.api import (
+    BackendRegistrationError,
+    CompilerBackend,
+    CompileRequest,
+    CompileResult,
+    available_backends,
+    canonical_backend_name,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.vqe import ExcitationTerm
+
+
+class StubBackend:
+    """Minimal protocol-conforming backend for registry tests."""
+
+    def __init__(self, name="stub"):
+        self._name = name
+        self.calls = 0
+
+    @property
+    def name(self):
+        return self._name
+
+    def compile(self, request):
+        self.calls += 1
+        return CompileResult(
+            backend=self._name,
+            cnot_count=42,
+            n_qubits=request.resolved_n_qubits,
+            breakdown={"total": 42},
+        )
+
+
+@pytest.fixture
+def stub():
+    backend = StubBackend()
+    yield backend
+    unregister_backend("stub")
+
+
+def simple_request():
+    return CompileRequest(terms=(ExcitationTerm(creation=(2,), annihilation=(0,)),))
+
+
+class TestDefaultRegistry:
+    def test_all_four_table1_flows_registered(self):
+        names = available_backends()
+        for expected in ("jordan-wigner", "bravyi-kitaev", "baseline", "advanced"):
+            assert expected in names
+
+    def test_aliases_resolve_to_canonical_backends(self):
+        assert get_backend("jw") is get_backend("jordan-wigner")
+        assert get_backend("bk") is get_backend("bravyi-kitaev")
+        assert get_backend("gt") is get_backend("baseline")
+        assert get_backend("adv") is get_backend("advanced")
+
+    def test_canonical_backend_name(self):
+        assert canonical_backend_name("gt") == "baseline"
+        assert canonical_backend_name("advanced") == "advanced"
+
+    def test_default_backends_satisfy_protocol(self):
+        for name in available_backends():
+            assert isinstance(get_backend(name), CompilerBackend)
+
+    def test_unknown_backend_raises_with_available_list(self):
+        with pytest.raises(KeyError, match="advanced"):
+            get_backend("no-such-backend")
+
+
+class TestRegistrationRoundTrip:
+    def test_register_lookup_unregister(self, stub):
+        register_backend(stub, aliases=("st",))
+        assert get_backend("stub") is stub
+        assert get_backend("st") is stub
+        assert "stub" in available_backends()
+
+        result = get_backend("stub").compile(simple_request())
+        assert result.cnot_count == 42
+        assert result.backend == "stub"
+        assert stub.calls == 1
+
+    def test_duplicate_name_rejected(self, stub):
+        register_backend(stub)
+        with pytest.raises(BackendRegistrationError, match="stub"):
+            register_backend(StubBackend("stub"))
+
+    def test_duplicate_alias_rejected(self, stub):
+        register_backend(stub)
+        with pytest.raises(BackendRegistrationError):
+            register_backend(StubBackend("other-stub"), aliases=("stub",))
+        # the failed registration must not leave the other name behind
+        with pytest.raises(KeyError):
+            get_backend("other-stub")
+
+    def test_clobbering_a_default_backend_rejected(self, stub):
+        with pytest.raises(BackendRegistrationError):
+            register_backend(StubBackend("advanced"))
+
+    def test_replace_allows_override(self, stub):
+        register_backend(stub)
+        replacement = StubBackend("stub")
+        register_backend(replacement, replace=True)
+        assert get_backend("stub") is replacement
+
+    def test_unregister_removes_aliases(self, stub):
+        register_backend(stub, aliases=("st",))
+        unregister_backend("stub")
+        with pytest.raises(KeyError):
+            get_backend("st")

@@ -95,6 +95,25 @@ class TestCancellation:
         assert optimized_cnot_count(circuit) == 1
 
 
+class TestMergePlacement:
+    def test_merged_rotation_stays_at_the_later_position(self):
+        """Regression: an identity rotation commuting forward past an H must
+        not pull a later non-commuting rotation back across it."""
+        circuit = Circuit(
+            2, [hadamard(0), hadamard(0), rz(0, 0.0), hadamard(0), rz(0, 1.0)]
+        )
+        optimized = optimize_circuit(circuit)
+        assert circuit.equals_up_to_global_phase(optimized)
+
+    def test_merge_across_commuting_gate_still_happens(self):
+        circuit = Circuit(2, [rz(0, 0.4), cnot(0, 1), rz(0, 0.5)])
+        optimized = optimize_circuit(circuit)
+        assert circuit.equals_up_to_global_phase(optimized)
+        merged = [g for g in optimized.gates if g.name == "RZ"]
+        assert len(merged) == 1
+        assert np.isclose(merged[0].parameter, 0.9)
+
+
 class TestCorrectness:
     @given(st.data())
     @settings(max_examples=30, deadline=None)
