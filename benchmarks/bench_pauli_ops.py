@@ -1,0 +1,210 @@
+"""Microbenchmark: symplectic bit-packed Pauli engine vs the label-tuple baseline.
+
+Measures the two operator-core hot paths the compilation pipeline leans on —
+pairwise commutation scans and Pauli-string products — against a faithful
+copy of the seed's label-tuple implementation (per-qubit dictionary lookups),
+plus the batched numpy engine (:mod:`repro.operators.symplectic`) and the
+GTSP interface-cost matrix.
+
+The acceptance bar for the symplectic rewrite is a >= 3x speedup on the
+product and pairwise-commutation benchmarks; results ("before" = label
+tuples, "after" = symplectic) are written to ``BENCH_pauli.json``.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_pauli_ops.py [--output BENCH_pauli.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.operators import PackedPaulis, PauliString, commutation_matrix
+from repro.operators.pauli import _PAULI_PRODUCTS
+from repro.operators.symplectic import interface_reduction_matrix
+
+
+# ----------------------------------------------------------------------
+# The label-tuple baseline: a minimal copy of the seed implementation.
+# ----------------------------------------------------------------------
+class LegacyPauliString:
+    """Seed-era Pauli string: tuple of labels, per-qubit dict lookups."""
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels):
+        self.labels = tuple(labels)
+
+    def multiply(self, other) -> Tuple[complex, "LegacyPauliString"]:
+        phase = complex(1.0)
+        labels = []
+        for a, b in zip(self.labels, other.labels):
+            factor, product = _PAULI_PRODUCTS[(a, b)]
+            phase *= factor
+            labels.append(product)
+        return phase, LegacyPauliString(labels)
+
+    def commutes_with(self, other) -> bool:
+        anticommuting = sum(
+            1
+            for a, b in zip(self.labels, other.labels)
+            if a != "I" and b != "I" and a != b
+        )
+        return anticommuting % 2 == 0
+
+
+def random_labels(rng: np.random.Generator, n_strings: int, n_qubits: int) -> List[str]:
+    alphabet = np.array(list("IXYZ"))
+    return [
+        "".join(alphabet[rng.integers(0, 4, size=n_qubits)]) for _ in range(n_strings)
+    ]
+
+
+def best_of(repeats: int, function) -> float:
+    """Best wall time of ``repeats`` runs (minimizes scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_pairwise_commutation(labels: List[str], repeats: int) -> Dict[str, float]:
+    legacy = [LegacyPauliString(label) for label in labels]
+    strings = [PauliString(label) for label in labels]
+    packed = PackedPaulis.from_strings(strings)
+
+    def run_legacy():
+        return [[a.commutes_with(b) for b in legacy] for a in legacy]
+
+    def run_scalar():
+        return [[a.commutes_with(b) for b in strings] for a in strings]
+
+    def run_batched():
+        return commutation_matrix(packed)
+
+    reference = np.array(run_legacy())
+    assert np.array_equal(np.array(run_scalar()), reference)
+    assert np.array_equal(run_batched(), reference)
+
+    label_tuple_s = best_of(repeats, run_legacy)
+    scalar_s = best_of(repeats, run_scalar)
+    batched_s = best_of(repeats, run_batched)
+    return {
+        "label_tuple_s": label_tuple_s,
+        "symplectic_scalar_s": scalar_s,
+        "symplectic_batched_s": batched_s,
+        "speedup_scalar": label_tuple_s / scalar_s,
+        "speedup_batched": label_tuple_s / batched_s,
+    }
+
+
+def bench_operator_product(labels: List[str], repeats: int) -> Dict[str, float]:
+    legacy = [LegacyPauliString(label) for label in labels]
+    strings = [PauliString(label) for label in labels]
+    pairs = list(zip(range(len(labels)), reversed(range(len(labels)))))
+
+    def run_legacy():
+        return [legacy[i].multiply(legacy[j]) for i, j in pairs]
+
+    def run_symplectic():
+        return [strings[i].multiply(strings[j]) for i, j in pairs]
+
+    for (lp, lprod), (sp, sprod) in zip(run_legacy(), run_symplectic()):
+        assert lp == sp and "".join(lprod.labels) == sprod.to_label()
+
+    label_tuple_s = best_of(repeats, run_legacy)
+    symplectic_s = best_of(repeats, run_symplectic)
+    return {
+        "label_tuple_s": label_tuple_s,
+        "symplectic_s": symplectic_s,
+        "speedup": label_tuple_s / symplectic_s,
+    }
+
+
+def bench_interface_matrix(labels: List[str], repeats: int) -> Dict[str, float]:
+    """GTSP cost matrix: per-pair scalar ω-rule vs one batched symplectic scan."""
+    from repro.circuits.interface import interface_cnot_reduction
+
+    strings = [PauliString(label) for label in labels if PauliString(label).support]
+    targets = [string.support[-1] for string in strings]
+
+    def run_scalar():
+        return [
+            [
+                interface_cnot_reduction(a, ta, b, tb)
+                for b, tb in zip(strings, targets)
+            ]
+            for a, ta in zip(strings, targets)
+        ]
+
+    def run_batched():
+        return interface_reduction_matrix(strings, targets)
+
+    assert np.array_equal(np.array(run_scalar()), run_batched())
+    scalar_s = best_of(repeats, run_scalar)
+    batched_s = best_of(repeats, run_batched)
+    return {
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qubits", type=int, default=32)
+    parser.add_argument("--strings", type=int, default=192, help="strings in the pairwise scans")
+    parser.add_argument("--products", type=int, default=4000, help="string pairs to multiply")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_pauli.json"
+    )
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    scan_labels = random_labels(rng, args.strings, args.qubits)
+    product_labels = random_labels(rng, args.products, args.qubits)
+
+    results = {
+        "config": {
+            "n_qubits": args.qubits,
+            "n_strings_pairwise": args.strings,
+            "n_product_pairs": args.products,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "pairwise_commutation": bench_pairwise_commutation(scan_labels, args.repeats),
+        "operator_product": bench_operator_product(product_labels, args.repeats),
+        "interface_cost_matrix": bench_interface_matrix(scan_labels, args.repeats),
+    }
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    commutation = results["pairwise_commutation"]
+    product = results["operator_product"]
+    print(
+        f"\npairwise commutation: {commutation['speedup_scalar']:.1f}x scalar, "
+        f"{commutation['speedup_batched']:.0f}x batched; "
+        f"products: {product['speedup']:.1f}x; "
+        f"interface matrix: {results['interface_cost_matrix']['speedup']:.0f}x batched"
+    )
+    floor = 3.0
+    ok = commutation["speedup_scalar"] >= floor and product["speedup"] >= floor
+    print(f"speedup floor ({floor:.0f}x on commutation + products): {'PASS' if ok else 'FAIL'}")
+    if not ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

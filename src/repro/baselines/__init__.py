@@ -5,6 +5,7 @@ from repro.baselines.compiler import (
     BaselineCompilationResult,
     BaselineCompiler,
     naive_cnot_count,
+    naive_rotation_sequence,
 )
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "BaselineCompiler",
     "BaselineCompilationResult",
     "naive_cnot_count",
+    "naive_rotation_sequence",
 ]

@@ -57,6 +57,12 @@ class BaselineCompilationResult:
     ordered_rotations: List[Tuple[PauliString, int]]
     rotation_cnot_count: int
     transform_matrix: np.ndarray
+    #: The same sequence as ``ordered_rotations`` with the rotation angles
+    #: included, shaped for :func:`repro.circuits.exponential_sequence_circuit`
+    #: so differential tests can synthesize the compiled unitary.
+    ordered_exponentials: List[Tuple[PauliString, float, int]] = field(
+        default_factory=list
+    )
 
     @property
     def n_compressed_terms(self) -> int:
@@ -73,19 +79,23 @@ def _shared_target(rotations: Sequence[PauliRotation]) -> Optional[int]:
     return max(common) if common else None
 
 
+#: One targeted rotation with its angle: (string, target, angle).
+_TargetedRotation = Tuple[PauliString, int, float]
+
+
 def _order_rotations_within_term(
     rotations: List[PauliRotation], target: Optional[int]
-) -> List[Tuple[PauliString, int]]:
+) -> List[_TargetedRotation]:
     """Order one term's rotations to maximize internal cancellations.
 
     All rotations share ``target`` when possible (the baseline's target-qubit
     rule); rotations whose support misses the target fall back to their own
     highest support qubit.
     """
-    def targeted(rotation: PauliRotation) -> Tuple[PauliString, int]:
+    def targeted(rotation: PauliRotation) -> _TargetedRotation:
         support = rotation.string.support
         chosen = target if target is not None and target in support else support[-1]
-        return (rotation.string, chosen)
+        return (rotation.string, chosen, rotation.angle)
 
     entries = [targeted(r) for r in rotations]
     if len(entries) <= 1:
@@ -93,14 +103,14 @@ def _order_rotations_within_term(
     if len(entries) <= EXHAUSTIVE_ORDERING_LIMIT:
         best = min(
             itertools.permutations(entries),
-            key=lambda order: sequence_cnot_count(list(order)),
+            key=lambda order: sequence_cnot_count([(p, t) for p, t, _ in order]),
         )
         return list(best)
 
     indices = list(range(len(entries)))
 
     def weight(i: int, j: int) -> float:
-        (p1, t1), (p2, t2) = entries[i], entries[j]
+        (p1, t1, _), (p2, t2, _) = entries[i], entries[j]
         return -float(interface_cnot_reduction(p1, t1, p2, t2))
 
     tour = solve_tsp(indices, weight, rng=np.random.default_rng(0))
@@ -108,27 +118,27 @@ def _order_rotations_within_term(
 
 
 def _greedy_inter_term_order(
-    term_blocks: List[List[Tuple[PauliString, int]]]
-) -> List[Tuple[PauliString, int]]:
+    term_blocks: List[List[_TargetedRotation]]
+) -> List[_TargetedRotation]:
     """Doubly-greedy inter-term ordering.
 
     Terms are grouped by their shared target; inside each group a greedy
     nearest-neighbour pass orders the terms by the cancellation between the
     last rotation of one block and the first rotation of the next.
     """
-    groups: Dict[int, List[List[Tuple[PauliString, int]]]] = {}
+    groups: Dict[int, List[List[_TargetedRotation]]] = {}
     for block in term_blocks:
         if not block:
             continue
         groups.setdefault(block[0][1], []).append(block)
 
-    ordered: List[Tuple[PauliString, int]] = []
+    ordered: List[_TargetedRotation] = []
     for target in sorted(groups):
         blocks = list(groups[target])
         current = blocks.pop(0)
         sequence = list(current)
         while blocks:
-            last_string, last_target = sequence[-1]
+            last_string, last_target = sequence[-1][0], sequence[-1][1]
             best_index = max(
                 range(len(blocks)),
                 key=lambda i: interface_cnot_reduction(
@@ -193,14 +203,15 @@ class BaselineCompiler:
 
         bosonic_cnots = BOSONIC_TERM_CNOT_COST * len(bosonic_terms)
 
-        term_blocks: List[List[Tuple[PauliString, int]]] = []
+        term_blocks: List[List[_TargetedRotation]] = []
         for index, term in uncompressed:
             parameter = 1.0 if parameters is None else parameters[index]
             rotations = terms_to_rotations([term], transform, [parameter])
             target = _shared_target(rotations)
             term_blocks.append(_order_rotations_within_term(rotations, target))
 
-        ordered_rotations = _greedy_inter_term_order(term_blocks)
+        ordered = _greedy_inter_term_order(term_blocks)
+        ordered_rotations = [(string, target) for string, target, _ in ordered]
         rotation_cnots = sequence_cnot_count(ordered_rotations)
 
         return BaselineCompilationResult(
@@ -210,6 +221,9 @@ class BaselineCompiler:
             ordered_rotations=ordered_rotations,
             rotation_cnot_count=rotation_cnots,
             transform_matrix=gamma,
+            ordered_exponentials=[
+                (string, angle, target) for string, target, angle in ordered
+            ],
         )
 
     # ------------------------------------------------------------------
@@ -258,22 +272,21 @@ class BaselineCompiler:
         return self.transform_matrix
 
 
-def naive_cnot_count(
+def naive_rotation_sequence(
     terms: Sequence[ExcitationTerm],
     transform: FermionQubitTransform,
     parameters: Optional[Sequence[float]] = None,
-) -> int:
-    """Reference compilation used for the JW and BK columns of Table I.
+) -> List[Tuple[PauliString, float, int]]:
+    """The exact ``(string, angle, target)`` sequence the naive flow compiles.
 
     Terms are Trotterized in the given order, every Pauli string of a term
-    shares the term's common target qubit, strings keep their deterministic
-    expansion order, and only cancellations between consecutive rotations are
-    credited — i.e. no compression and no ordering optimization.
+    shares the term's common target qubit, and strings keep their
+    deterministic expansion order.  The sequence feeds straight into
+    :func:`repro.circuits.exponential_sequence_circuit`, which is how the
+    differential tests reconstruct the JW/BK reference unitaries.
     """
     terms = list(terms)
-    if not terms:
-        return 0
-    sequence: List[Tuple[PauliString, int]] = []
+    sequence: List[Tuple[PauliString, float, int]] = []
     for index, term in enumerate(terms):
         parameter = 1.0 if parameters is None else parameters[index]
         rotations = terms_to_rotations([term], transform, [parameter])
@@ -281,5 +294,22 @@ def naive_cnot_count(
         for rotation in rotations:
             support = rotation.string.support
             chosen = target if target is not None and target in support else support[-1]
-            sequence.append((rotation.string, chosen))
-    return sequence_cnot_count(sequence)
+            sequence.append((rotation.string, rotation.angle, chosen))
+    return sequence
+
+
+def naive_cnot_count(
+    terms: Sequence[ExcitationTerm],
+    transform: FermionQubitTransform,
+    parameters: Optional[Sequence[float]] = None,
+) -> int:
+    """Reference compilation used for the JW and BK columns of Table I.
+
+    No compression and no ordering optimization: only cancellations between
+    consecutive rotations of :func:`naive_rotation_sequence` are credited.
+    """
+    terms = list(terms)
+    if not terms:
+        return 0
+    sequence = naive_rotation_sequence(terms, transform, parameters)
+    return sequence_cnot_count([(string, target) for string, _, target in sequence])

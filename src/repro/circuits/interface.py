@@ -49,14 +49,19 @@ def interface_cnot_reduction(
 ) -> int:
     """CNOT gates saved by implementing ``second`` right after ``first``.
 
-    Implements the ω-rule of Sec. III-B.  Both targets must lie in the support
-    of their respective strings; a mismatch in targets yields zero savings.
+    Implements the ω-rule of Sec. III-B as whole-register bit operations on
+    the symplectic masks.  Both targets must lie in the support of their
+    respective strings; a mismatch in targets yields zero savings.
     """
-    if first_target not in first.support:
+    x1, z1 = first.x_mask, first.z_mask
+    x2, z2 = second.x_mask, second.z_mask
+    support1 = x1 | z1
+    support2 = x2 | z2
+    if first_target < 0 or not (support1 >> first_target) & 1:
         raise ValueError(
             f"target {first_target} not in support of {first.to_label()}"
         )
-    if second_target not in second.support:
+    if second_target < 0 or not (support2 >> second_target) & 1:
         raise ValueError(
             f"target {second_target} not in support of {second.to_label()}"
         )
@@ -66,20 +71,16 @@ def interface_cnot_reduction(
         return 0
 
     target = first_target
-    target_collision = (first[target], second[target])
-    target_good = target_collision in GOOD_TARGET_COLLISIONS
-
-    saved = 0
-    for qubit in range(first.n_qubits):
-        if qubit == target:
-            continue
-        collision = (first[qubit], second[qubit])
-        if "I" in collision:
-            continue
-        if target_good and collision in MATCHING_CONTROL_COLLISIONS:
-            saved += 2
-        else:
-            saved += 1
+    # ω = 1 per qubit where both strings are non-identity (target excluded) ...
+    both = (support1 & support2) & ~(1 << target)
+    saved = both.bit_count()
+    # ... plus 1 more per matching collision when the target collision is
+    # "good": both strings carry an X component there, or both are exactly Z.
+    x1t, z1t = (x1 >> target) & 1, (z1 >> target) & 1
+    x2t, z2t = (x2 >> target) & 1, (z2 >> target) & 1
+    target_good = (x1t and x2t) or (z1t and not x1t and z2t and not x2t)
+    if target_good:
+        saved += (both & ~((x1 ^ x2) | (z1 ^ z2))).bit_count()
     # The saving can never exceed the CNOTs present at the interface.
     interface_cnots = (first.weight - 1) + (second.weight - 1)
     return min(saved, max(interface_cnots, 0))

@@ -23,11 +23,35 @@ from repro.circuits import (
     sequence_cnot_count,
 )
 from repro.core.terms_to_paulis import PauliRotation
-from repro.operators import PauliString
+from repro.operators import PauliString, interface_reduction_matrix
 from repro.optimizers import GtspProblem, solve_gtsp
 
 #: A GTSP vertex: (rotation index, target qubit).
 SortingVertex = Tuple[int, int]
+
+
+def vertex_savings(
+    rotations: Sequence[PauliRotation],
+) -> Tuple[List[SortingVertex], np.ndarray]:
+    """All ``(rotation, target)`` vertices plus their pairwise savings matrix.
+
+    Vertices are enumerated in (rotation index, ascending target) order; the
+    matrix entry ``[a, b]`` is the interface CNOT saving of implementing
+    vertex ``b`` right after vertex ``a``, computed in one batched symplectic
+    scan (:func:`repro.operators.interface_reduction_matrix`) instead of one
+    Python loop per GTSP edge query.
+    """
+    vertices: List[SortingVertex] = []
+    for index, rotation in enumerate(rotations):
+        for target in rotation.string.support:
+            vertices.append((index, target))
+    if not vertices:
+        return [], np.zeros((0, 0), dtype=np.int64)
+    matrix = interface_reduction_matrix(
+        [rotations[index].string for index, _ in vertices],
+        [target for _, target in vertices],
+    )
+    return vertices, matrix
 
 
 @dataclass
@@ -43,7 +67,12 @@ class SortingResult:
 
 
 def build_sorting_problem(rotations: Sequence[PauliRotation]) -> GtspProblem:
-    """Build the GTSP instance of Sec. III-B for a list of Pauli rotations."""
+    """Build the GTSP instance of Sec. III-B for a list of Pauli rotations.
+
+    The edge weights are served from one precomputed pairwise savings matrix,
+    so the genetic algorithm's many repeated weight queries cost a dictionary
+    lookup each instead of a per-qubit scan.
+    """
     rotations = list(rotations)
     if not rotations:
         raise ValueError("cannot build a sorting problem from zero rotations")
@@ -54,14 +83,11 @@ def build_sorting_problem(rotations: Sequence[PauliRotation]) -> GtspProblem:
             raise ValueError("identity rotations cannot be sorted into circuits")
         clusters.append([(index, target) for target in support])
 
+    vertices, savings = vertex_savings(rotations)
+    row_of = {vertex: row for row, vertex in enumerate(vertices)}
+
     def weight(u: SortingVertex, v: SortingVertex) -> float:
-        rotation_u, target_u = rotations[u[0]], u[1]
-        rotation_v, target_v = rotations[v[0]], v[1]
-        return -float(
-            interface_cnot_reduction(
-                rotation_u.string, target_u, rotation_v.string, target_v
-            )
-        )
+        return -float(savings[row_of[u], row_of[v]])
 
     return GtspProblem(clusters=clusters, weight=weight)
 
@@ -179,25 +205,25 @@ def greedy_sort(rotations: Sequence[PauliRotation]) -> SortingResult:
     rotations = list(rotations)
     if not rotations:
         return SortingResult(ordered_rotations=[], cnot_count=0)
-    remaining = set(range(1, len(rotations)))
+    vertices, savings = vertex_savings(rotations)
+    vertex_rotation = np.array([index for index, _ in vertices], dtype=np.int64)
+    row_of = {vertex: row for row, vertex in enumerate(vertices)}
+
     first = rotations[0]
-    ordered: List[Tuple[PauliRotation, int]] = [(first, first.string.support[-1])]
-    while remaining:
-        last_string, last_target = ordered[-1][0].string, ordered[-1][1]
-        best_choice = None
-        best_saving = -1
-        for index in remaining:
-            candidate = rotations[index]
-            for target in candidate.string.support:
-                saving = interface_cnot_reduction(
-                    last_string, last_target, candidate.string, target
-                )
-                if saving > best_saving:
-                    best_saving = saving
-                    best_choice = (index, target)
-        index, target = best_choice
+    first_target = first.string.support[-1]
+    ordered: List[Tuple[PauliRotation, int]] = [(first, first_target)]
+    current = row_of[(0, first_target)]
+    alive = vertex_rotation != 0
+    # Vertices are enumerated in (rotation index, target) order, and argmax
+    # returns the first maximum, so ties resolve exactly as the historical
+    # nested loop did: lowest rotation index first, then lowest target.
+    for _ in range(len(rotations) - 1):
+        candidates = np.nonzero(alive)[0]
+        best = candidates[int(np.argmax(savings[current, candidates]))]
+        index, target = vertices[best]
         ordered.append((rotations[index], target))
-        remaining.remove(index)
+        alive &= vertex_rotation != index
+        current = best
     cnot_count = sequence_cnot_count([(r.string, t) for r, t in ordered])
     return SortingResult(ordered_rotations=ordered, cnot_count=cnot_count)
 

@@ -122,8 +122,19 @@ def search_block_diagonal_gamma(
         identity_matrix(len(block)) for block in blocks
     )
 
+    # The cost function (transform + greedy sort) is deterministic in Γ and by
+    # far the dominant expense, while the elementary-update walk frequently
+    # revisits the same candidate; memoize on the Γ bit pattern.
+    cost_cache: Dict[bytes, float] = {}
+
     def energy(state: Tuple[np.ndarray, ...]) -> float:
-        return float(cost_function(assemble_gamma(n_qubits, blocks, state)))
+        gamma = assemble_gamma(n_qubits, blocks, state)
+        key = gamma.tobytes()
+        cached = cost_cache.get(key)
+        if cached is None:
+            cached = float(cost_function(gamma))
+            cost_cache[key] = cached
+        return cached
 
     def neighbor(
         state: Tuple[np.ndarray, ...], generator: np.random.Generator

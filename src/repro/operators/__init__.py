@@ -7,8 +7,10 @@ structures that every other layer of the library builds on:
   fermionic creation/annihilation operators with complex coefficients,
   supporting normal ordering and hermitian conjugation.
 * :class:`~repro.operators.pauli.PauliString` — an immutable n-qubit Pauli
-  string (tensor product of I/X/Y/Z) with multiplication, commutation and
-  sparse-matrix export.
+  string (tensor product of I/X/Y/Z) stored symplectically (bit-packed X/Z
+  masks) with multiplication, commutation and sparse-matrix export.
+* :class:`~repro.operators.symplectic.PackedPaulis` — many strings packed
+  into ``uint64`` bit-planes for vectorized pairwise commutation/cost scans.
 * :class:`~repro.operators.qubit.QubitOperator` — complex linear combinations
   of Pauli strings with full algebra.
 """
@@ -16,10 +18,22 @@ structures that every other layer of the library builds on:
 from repro.operators.fermion import FermionOperator, FermionTerm
 from repro.operators.pauli import PauliString
 from repro.operators.qubit import QubitOperator
+from repro.operators.symplectic import (
+    PackedPaulis,
+    commutation_matrix,
+    interface_reduction_matrix,
+    overlap_matrix,
+    weight_vector,
+)
 
 __all__ = [
     "FermionOperator",
     "FermionTerm",
+    "PackedPaulis",
     "PauliString",
     "QubitOperator",
+    "commutation_matrix",
+    "interface_reduction_matrix",
+    "overlap_matrix",
+    "weight_vector",
 ]

@@ -221,11 +221,49 @@ class QubitOperator:
     # Matrix export
     # ------------------------------------------------------------------
     def to_sparse(self) -> sparse.csr_matrix:
-        """Return the ``2**n x 2**n`` sparse matrix of the operator."""
+        """Return the ``2**n x 2**n`` sparse matrix of the operator.
+
+        Every Pauli string is a signed permutation matrix (one entry per
+        column), so the export assembles chunks of terms as COO triplets —
+        ``row = column ⊕ x``, ``value = coeff · i^{|Y|} · (-1)^{|z ∧ column|}``
+        — and lets the CSR conversion sum duplicates, instead of building and
+        adding per-string Kronecker products.
+        """
         dim = 2 ** self.n_qubits
         matrix = sparse.csr_matrix((dim, dim), dtype=complex)
+        if not self.terms:
+            return matrix
+        columns = np.arange(dim, dtype=np.int64)
+        # Chunked accumulation bounds the COO scratch memory on operators
+        # with many terms while keeping the number of sparse additions low.
+        chunk_rows = []
+        chunk_data = []
+        chunk_cols = []
+
+        def flush():
+            nonlocal matrix, chunk_rows, chunk_data, chunk_cols
+            if not chunk_rows:
+                return
+            chunk = sparse.coo_matrix(
+                (
+                    np.concatenate(chunk_data),
+                    (np.concatenate(chunk_rows), np.concatenate(chunk_cols)),
+                ),
+                shape=(dim, dim),
+            ).tocsr()
+            matrix = matrix + chunk
+            chunk_rows, chunk_data, chunk_cols = [], [], []
+
+        max_chunk_entries = 1 << 21
+        per_term_budget = max(1, max_chunk_entries // dim)
         for string, coeff in self.terms.items():
-            matrix = matrix + coeff * string.to_sparse()
+            rows, values = string.signed_permutation()
+            chunk_rows.append(rows)
+            chunk_cols.append(columns)
+            chunk_data.append(coeff * values)
+            if len(chunk_rows) >= per_term_budget:
+                flush()
+        flush()
         return matrix
 
     def to_dense(self) -> np.ndarray:

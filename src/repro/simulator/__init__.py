@@ -9,6 +9,8 @@ from repro.simulator.exact import (
 )
 from repro.simulator.statevector import (
     apply_exponential,
+    apply_pauli_string,
+    apply_qubit_operator,
     basis_state,
     expectation_value,
     fermion_sparse,
@@ -30,6 +32,8 @@ __all__ = [
     "hartree_fock_state",
     "expectation_value",
     "apply_exponential",
+    "apply_pauli_string",
+    "apply_qubit_operator",
     "fermion_sparse",
     "normalize",
     "number_operator_sparse",

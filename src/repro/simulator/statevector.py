@@ -5,6 +5,12 @@ obtained from VQE; in this reproduction the quantum computer is replaced by an
 exact sparse statevector simulation.  Qubit ``0`` is the most significant bit
 of the computational-basis index, matching the convention of
 :meth:`repro.operators.pauli.PauliString.to_sparse`.
+
+Pauli strings act on statevectors as signed index permutations
+(``P|b⟩ = i^{|Y|} (-1)^{|z ∧ b|} |b ⊕ x⟩``), so
+:func:`apply_pauli_string` / :func:`apply_qubit_operator` and the
+:class:`~repro.operators.qubit.QubitOperator` branch of
+:func:`expectation_value` never materialize an operator matrix.
 """
 
 from __future__ import annotations
@@ -12,52 +18,106 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 import numpy as np
-from scipy import sparse
+from scipy import sparse as sp
+from scipy.sparse import spmatrix
 from scipy.sparse.linalg import expm_multiply
 
-from repro.operators import FermionOperator, QubitOperator
+from repro.operators import FermionOperator, PauliString, QubitOperator
 from repro.transforms import jordan_wigner
 
 
-def basis_state(n_qubits: int, occupied: Sequence[int]) -> np.ndarray:
-    """Computational basis state with the given qubits set to ``1``."""
+def basis_state(
+    n_qubits: int, occupied: Sequence[int], sparse: bool = False
+) -> Union[np.ndarray, sp.csc_matrix]:
+    """Computational basis state with the given qubits set to ``1``.
+
+    With ``sparse=True`` the state is returned as a ``(2**n, 1)``
+    :class:`scipy.sparse.csc_matrix` column vector holding the single
+    non-zero amplitude, so no dense ``2**n`` array is ever allocated — at 20+
+    qubits the dense path costs tens of megabytes per state, the sparse path
+    a few bytes.
+    """
     index = 0
     for qubit in occupied:
         if not 0 <= qubit < n_qubits:
             raise ValueError(f"qubit {qubit} out of range for {n_qubits} qubits")
         index |= 1 << (n_qubits - 1 - qubit)
+    if sparse:
+        return sp.csc_matrix(
+            (np.ones(1, dtype=complex), ([index], [0])),
+            shape=(2 ** n_qubits, 1),
+            dtype=complex,
+        )
     state = np.zeros(2 ** n_qubits, dtype=complex)
     state[index] = 1.0
     return state
 
 
-def hartree_fock_state(n_qubits: int, n_electrons: int) -> np.ndarray:
-    """Jordan-Wigner Hartree-Fock reference: the first ``n_electrons`` modes filled."""
+def hartree_fock_state(
+    n_qubits: int, n_electrons: int, sparse: bool = False
+) -> Union[np.ndarray, sp.csc_matrix]:
+    """Jordan-Wigner Hartree-Fock reference: the first ``n_electrons`` modes filled.
+
+    ``sparse=True`` returns the state as a sparse column vector (see
+    :func:`basis_state`).
+    """
     if n_electrons < 0 or n_electrons > n_qubits:
         raise ValueError("invalid electron count")
-    return basis_state(n_qubits, range(n_electrons))
+    return basis_state(n_qubits, range(n_electrons), sparse=sparse)
 
 
-def operator_sparse(operator: Union[QubitOperator, sparse.spmatrix]) -> sparse.csr_matrix:
+def operator_sparse(operator: Union[QubitOperator, spmatrix]) -> sp.csr_matrix:
     """Coerce a qubit operator (or an already-sparse matrix) to CSR form."""
     if isinstance(operator, QubitOperator):
         return operator.to_sparse()
-    return sparse.csr_matrix(operator)
+    return sp.csr_matrix(operator)
+
+
+def apply_pauli_string(
+    string: PauliString, state: np.ndarray, coefficient: complex = 1.0
+) -> np.ndarray:
+    """Return ``coefficient · P |state⟩`` without building a matrix.
+
+    The Pauli string permutes basis indices by XOR with its X mask (in index
+    bit order) and multiplies each amplitude by ``i^{|Y|} (-1)^{|z ∧ b|}``.
+    """
+    state = np.asarray(state, dtype=complex).reshape(-1)
+    if state.size != 2 ** string.n_qubits:
+        raise ValueError("operator and state dimensions do not match")
+    rows, values = string.signed_permutation()
+    # out[rows[c]] = values[c] * state[c]; XOR permutations are involutions,
+    # so gathering through `rows` scatters to the right places.
+    return coefficient * (values * state)[rows]
+
+
+def apply_qubit_operator(operator: QubitOperator, state: np.ndarray) -> np.ndarray:
+    """Return ``operator |state⟩`` as a sum of permutation applications."""
+    state = np.asarray(state, dtype=complex).reshape(-1)
+    if state.size != 2 ** operator.n_qubits:
+        raise ValueError("operator and state dimensions do not match")
+    result = np.zeros_like(state)
+    for string, coefficient in operator.terms.items():
+        result += apply_pauli_string(string, state, coefficient)
+    return result
 
 
 def expectation_value(
-    operator: Union[QubitOperator, sparse.spmatrix], state: np.ndarray
+    operator: Union[QubitOperator, spmatrix], state: np.ndarray
 ) -> float:
     """Real part of ``⟨state| operator |state⟩``."""
-    matrix = operator_sparse(operator)
     state = np.asarray(state, dtype=complex).reshape(-1)
+    if isinstance(operator, QubitOperator):
+        if 2 ** operator.n_qubits != state.size:
+            raise ValueError("operator and state dimensions do not match")
+        return float(np.real(np.vdot(state, apply_qubit_operator(operator, state))))
+    matrix = operator_sparse(operator)
     if matrix.shape[0] != state.size:
         raise ValueError("operator and state dimensions do not match")
     return float(np.real(np.vdot(state, matrix @ state)))
 
 
 def apply_exponential(
-    generator: Union[QubitOperator, sparse.spmatrix],
+    generator: Union[QubitOperator, spmatrix],
     state: np.ndarray,
     scale: float = 1.0,
 ) -> np.ndarray:
@@ -84,12 +144,12 @@ def normalize(state: np.ndarray) -> np.ndarray:
     return state / norm
 
 
-def fermion_sparse(operator: FermionOperator, n_modes: int) -> sparse.csr_matrix:
+def fermion_sparse(operator: FermionOperator, n_modes: int) -> sp.csr_matrix:
     """Sparse matrix of a fermionic operator under the Jordan-Wigner encoding."""
     return jordan_wigner(operator, n_modes=n_modes).to_sparse()
 
 
-def number_operator_sparse(n_qubits: int) -> sparse.csr_matrix:
+def number_operator_sparse(n_qubits: int) -> sp.csr_matrix:
     """Sparse total particle-number operator in the Jordan-Wigner encoding."""
     total = FermionOperator.zero()
     for mode in range(n_qubits):

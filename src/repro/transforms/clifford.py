@@ -16,7 +16,10 @@ from repro.transforms.binary import CnotPair
 
 #: Conjugation table for a single CNOT: (control_label, target_label) ->
 #: (sign, new_control_label, new_target_label).  Derived from the generator
-#: images X_c -> X_c X_t, Z_c -> Z_c, X_t -> X_t, Z_t -> Z_c Z_t.
+#: images X_c -> X_c X_t, Z_c -> Z_c, X_t -> X_t, Z_t -> Z_c Z_t.  Kept for
+#: reference/tests; the functions below evaluate the equivalent symplectic
+#: update (x_t ^= x_c, z_c ^= z_t, sign flip iff x_c z_t (x_t ⊕ z_c ⊕ 1))
+#: directly on the packed bit-masks.
 _CNOT_CONJUGATION = {
     ("I", "I"): (1, "I", "I"),
     ("I", "X"): (1, "I", "X"),
@@ -37,15 +40,33 @@ _CNOT_CONJUGATION = {
 }
 
 
+def _cnot_step(x: int, z: int, control: int, target: int) -> Tuple[int, int, int]:
+    """One CNOT conjugation on packed masks: returns ``(sign, x', z')``.
+
+    Symplectic update ``x_t ^= x_c``, ``z_c ^= z_t``; the sign flips iff
+    ``x_c z_t (x_t ⊕ z_c ⊕ 1)`` — the ``(X,Z) → -YY`` / ``(Y,Y) → -XZ``
+    rows of the conjugation table.
+    """
+    if control == target:
+        raise ValueError("CNOT control and target must differ")
+    x_control = (x >> control) & 1
+    z_target = (z >> target) & 1
+    sign = 1
+    if x_control and z_target and not (((x >> target) ^ (z >> control)) & 1):
+        sign = -1
+    if x_control:
+        x ^= 1 << target
+    if z_target:
+        z ^= 1 << control
+    return sign, x, z
+
+
 def conjugate_pauli_by_cnot(
     string: PauliString, control: int, target: int
 ) -> Tuple[int, PauliString]:
     """Return ``(sign, CNOT P CNOT)`` for a single CNOT conjugation."""
-    if control == target:
-        raise ValueError("CNOT control and target must differ")
-    sign, new_control, new_target = _CNOT_CONJUGATION[(string[control], string[target])]
-    new_string = string.with_label(control, new_control).with_label(target, new_target)
-    return sign, new_string
+    sign, x, z = _cnot_step(string.x_mask, string.z_mask, control, target)
+    return sign, PauliString.from_bitmasks(string.n_qubits, x, z)
 
 
 def conjugate_pauli_by_cnot_network(
@@ -55,21 +76,28 @@ def conjugate_pauli_by_cnot_network(
 
     The gate list is given in application (circuit) order, i.e. ``cnots[0]``
     acts first on states.  Conjugation therefore proceeds innermost-first:
-    ``U P U† = G_k (... (G_1 P G_1†) ...) G_k†``.
+    ``U P U† = G_k (... (G_1 P G_1†) ...) G_k†``.  The whole network is
+    applied to the packed bit-masks; the string is rebuilt once at the end.
     """
     sign = 1
+    x, z = string.x_mask, string.z_mask
     for control, target in cnots:
-        step_sign, string = conjugate_pauli_by_cnot(string, control, target)
+        step_sign, x, z = _cnot_step(x, z, control, target)
         sign *= step_sign
-    return sign, string
+    return sign, PauliString.from_bitmasks(string.n_qubits, x, z)
 
 
 def conjugate_by_cnot_network(
     operator: QubitOperator, cnots: Sequence[CnotPair]
 ) -> QubitOperator:
-    """Conjugate every term of a :class:`QubitOperator` by a CNOT network."""
-    result = QubitOperator.zero(operator.n_qubits)
+    """Conjugate every term of a :class:`QubitOperator` by a CNOT network.
+
+    Clifford conjugation permutes the Pauli basis, so distinct input strings
+    stay distinct and the result can be assembled in one dictionary pass.
+    """
+    cnots = list(cnots)
+    terms = {}
     for string, coefficient in operator.terms.items():
         sign, new_string = conjugate_pauli_by_cnot_network(string, cnots)
-        result += QubitOperator.from_pauli_string(new_string, sign * coefficient)
-    return result.compress()
+        terms[new_string] = sign * coefficient
+    return QubitOperator(operator.n_qubits, terms)

@@ -21,9 +21,12 @@ class JordanWignerTransform(FermionQubitTransform):
         if not 0 <= mode < self.n_modes:
             raise ValueError(f"mode {mode} out of range for {self.n_modes} modes")
         n = self.n_qubits
-        z_chain = {j: "Z" for j in range(mode)}
-        x_string = PauliString.from_dict(n, {**z_chain, mode: "X"})
-        y_string = PauliString.from_dict(n, {**z_chain, mode: "Y"})
+        # Emit the packed symplectic masks directly: the Z chain is a run of
+        # low bits, the mode qubit carries X (or Y = X and Z bits together).
+        z_chain = (1 << mode) - 1
+        mode_bit = 1 << mode
+        x_string = PauliString.from_bitmasks(n, mode_bit, z_chain)
+        y_string = PauliString.from_bitmasks(n, mode_bit, z_chain | mode_bit)
         return QubitOperator(n, {x_string: 0.5, y_string: 0.5j})
 
 

@@ -1,0 +1,73 @@
+"""Golden-file regression: fast-tier Table-I numbers must not drift.
+
+``tests/golden/table1_fast.json`` pins the CNOT counts of all four backends —
+plus gate-level depth/CNOT counts of the advanced fermionic circuit — for two
+cheap deterministic cases: full-UCCSD H2 and the 4-term HMP2 selection for
+water.  Any optimizer, transform or operator-core change that silently moves
+the paper's headline numbers fails here loudly.
+
+To move the pinned numbers intentionally, rerun
+``PYTHONPATH=src python tools/make_golden.py`` and commit the diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import DEFAULT_BACKEND_NAMES, CompileRequest, CompilerConfig, compile_batch
+from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
+from repro.circuits import optimize_circuit
+from repro.vqe import hmp2_ranked_terms
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "table1_fast.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_config(golden):
+    return CompilerConfig(**golden["config"])
+
+
+@pytest.mark.parametrize("case_name", ["H2", "HMP2-small"])
+def test_fast_tier_numbers_are_pinned(golden, golden_config, case_name):
+    case = golden["cases"][case_name]
+    scf = run_rhf(make_molecule(case["molecule"]))
+    hamiltonian = build_molecular_hamiltonian(
+        scf, n_frozen_spatial_orbitals=case["n_frozen_spatial_orbitals"]
+    )
+    assert hamiltonian.n_spin_orbitals == case["n_qubits"]
+    terms = hmp2_ranked_terms(hamiltonian)[: case["n_terms"]]
+    assert len(terms) == case["n_terms"]
+
+    request = CompileRequest(
+        terms=tuple(terms), n_qubits=case["n_qubits"], config=golden_config
+    )
+    row = compile_batch([request], backends=DEFAULT_BACKEND_NAMES).results[0]
+
+    counts = {name: row[name].cnot_count for name in DEFAULT_BACKEND_NAMES}
+    assert counts == case["cnot_counts"], (
+        f"Table-I fast-tier CNOT counts moved for {case_name}: "
+        f"got {counts}, golden {case['cnot_counts']}. If intentional, rerun "
+        "tools/make_golden.py and commit the new golden file."
+    )
+
+    advanced = row["advanced"].details
+    assert advanced.breakdown() == case["advanced_breakdown"]
+
+    circuit = advanced.fermionic_circuit(optimize=False)
+    optimized = optimize_circuit(circuit)
+    observed = {
+        "cnot_count": circuit.cnot_count,
+        "depth": circuit.depth(),
+        "optimized_cnot_count": optimized.cnot_count,
+        "optimized_depth": optimized.depth(),
+    }
+    assert observed == case["advanced_circuit"], (
+        f"advanced circuit depth/CNOT profile moved for {case_name}: "
+        f"got {observed}, golden {case['advanced_circuit']}"
+    )

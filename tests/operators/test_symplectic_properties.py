@@ -1,0 +1,203 @@
+"""Property-based differential tests: symplectic engine vs legacy label semantics.
+
+The bit-packed :class:`~repro.operators.pauli.PauliString` core must be an
+exact drop-in for the historical label-tuple implementation.  These tests
+keep a minimal copy of the legacy semantics (per-qubit dictionary lookups, as
+the seed code implemented them) and assert on random strings — including
+strings wider than one 64-bit word — that products, phases, commutation,
+hermiticity, matrix exports, hashing and the total order all agree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.operators import (
+    PackedPaulis,
+    PauliString,
+    commutation_matrix,
+    interface_reduction_matrix,
+    overlap_matrix,
+    weight_vector,
+)
+from repro.operators.pauli import PAULI_MATRICES, _PAULI_PRODUCTS
+
+
+# ----------------------------------------------------------------------
+# Legacy reference semantics (label tuples + per-qubit dict lookups)
+# ----------------------------------------------------------------------
+def legacy_multiply(a: str, b: str):
+    phase = complex(1.0)
+    labels = []
+    for la, lb in zip(a, b):
+        factor, product = _PAULI_PRODUCTS[(la, lb)]
+        phase *= factor
+        labels.append(product)
+    return phase, "".join(labels)
+
+
+def legacy_commutes(a: str, b: str) -> bool:
+    anticommuting = sum(
+        1 for la, lb in zip(a, b) if la != "I" and lb != "I" and la != lb
+    )
+    return anticommuting % 2 == 0
+
+
+def legacy_dense(label: str) -> np.ndarray:
+    matrix = sparse.identity(1, format="csr", dtype=complex)
+    for single in label:
+        matrix = sparse.kron(
+            matrix, sparse.csr_matrix(PAULI_MATRICES[single]), format="csr"
+        )
+    return matrix.toarray()
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def labels(n_min=1, n_max=8):
+    return st.text(alphabet="IXYZ", min_size=n_min, max_size=n_max)
+
+
+def label_pairs(n_min=1, n_max=8):
+    """Two equal-length random label strings."""
+    return st.integers(n_min, n_max).flatmap(
+        lambda n: st.tuples(labels(n, n), labels(n, n))
+    )
+
+
+#: Wide strings cross the 64-qubit word boundary of the packed batch layout.
+WIDE = st.integers(60, 70).flatmap(lambda n: st.tuples(labels(n, n), labels(n, n)))
+
+
+# ----------------------------------------------------------------------
+# Scalar engine vs legacy semantics
+# ----------------------------------------------------------------------
+class TestScalarAgainstLegacy:
+    @given(label_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_product_label_and_phase(self, pair):
+        a, b = pair
+        phase, product = PauliString(a).multiply(PauliString(b))
+        legacy_phase, legacy_label = legacy_multiply(a, b)
+        assert product.to_label() == legacy_label
+        assert phase == legacy_phase
+
+    @given(WIDE)
+    @settings(max_examples=30, deadline=None)
+    def test_product_label_and_phase_wide(self, pair):
+        a, b = pair
+        phase, product = PauliString(a).multiply(PauliString(b))
+        legacy_phase, legacy_label = legacy_multiply(a, b)
+        assert product.to_label() == legacy_label
+        assert phase == legacy_phase
+
+    @given(label_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_commutation(self, pair):
+        a, b = pair
+        assert PauliString(a).commutes_with(PauliString(b)) == legacy_commutes(a, b)
+
+    @given(labels(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_dense_and_sparse_match_kronecker(self, label):
+        string = PauliString(label)
+        reference = legacy_dense(label)
+        assert np.allclose(string.to_dense(), reference)
+        assert np.allclose(string.to_sparse().toarray(), reference)
+
+    @given(labels(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_hermiticity_and_unitarity(self, label):
+        matrix = PauliString(label).to_dense()
+        assert np.allclose(matrix, matrix.conj().T)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(matrix.shape[0]))
+
+    @given(labels(1, 70))
+    @settings(max_examples=80, deadline=None)
+    def test_weight_support_roundtrip(self, label):
+        string = PauliString(label)
+        assert string.weight == sum(1 for c in label if c != "I")
+        assert string.support == tuple(i for i, c in enumerate(label) if c != "I")
+        assert string.to_label() == label
+        assert tuple(string) == tuple(label)
+
+    @given(labels(1, 70))
+    @settings(max_examples=80, deadline=None)
+    def test_hash_stability(self, label):
+        # Equal strings hash equal no matter how they were constructed.
+        via_labels = PauliString(label)
+        via_masks = PauliString.from_bitmasks(
+            len(label), via_labels.x_mask, via_labels.z_mask
+        )
+        via_dict = PauliString.from_dict(
+            len(label), {i: c for i, c in enumerate(label) if c != "I"}
+        )
+        assert via_labels == via_masks == via_dict
+        assert hash(via_labels) == hash(via_masks) == hash(via_dict)
+        assert len({via_labels, via_masks, via_dict}) == 1
+
+    @given(st.lists(labels(3, 3), min_size=2, max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_order_matches_label_tuples(self, label_list):
+        strings = sorted(PauliString(label) for label in label_list)
+        reference = sorted(tuple(label) for label in label_list)
+        assert [tuple(s.labels) for s in strings] == reference
+
+    def test_order_across_lengths_matches_tuple_prefix_rule(self):
+        assert PauliString("IX") < PauliString("IXZ")
+        assert not PauliString("IXZ") < PauliString("IX")
+        assert PauliString("IY") > PauliString("IXZ")
+
+
+# ----------------------------------------------------------------------
+# Batched (numpy-packed) engine vs the scalar engine
+# ----------------------------------------------------------------------
+class TestBatchedAgainstScalar:
+    @given(st.integers(1, 70).flatmap(
+        lambda n: st.lists(labels(n, n), min_size=1, max_size=6)
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_commutation_weight_overlap_matrices(self, label_list):
+        strings = [PauliString(label) for label in label_list]
+        packed = PackedPaulis.from_strings(strings)
+        assert [s.to_label() for s in packed.to_strings()] == label_list
+
+        commuting = commutation_matrix(packed)
+        overlaps = overlap_matrix(packed)
+        weights = weight_vector(packed)
+        for i, a in enumerate(strings):
+            assert weights[i] == a.weight
+            for j, b in enumerate(strings):
+                assert commuting[i, j] == a.commutes_with(b)
+                assert overlaps[i, j] == len(a.overlap(b))
+
+    @given(st.integers(2, 66).flatmap(
+        lambda n: st.lists(labels(n, n), min_size=1, max_size=5)
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_interface_matrix_matches_scalar_rule(self, label_list):
+        from repro.circuits.interface import interface_cnot_reduction
+
+        strings = []
+        targets = []
+        for label in label_list:
+            string = PauliString(label)
+            if not string.support:
+                continue
+            strings.append(string)
+            targets.append(string.support[-1])
+        if not strings:
+            return
+        matrix = interface_reduction_matrix(strings, targets)
+        for i, a in enumerate(strings):
+            for j, b in enumerate(strings):
+                assert matrix[i, j] == interface_cnot_reduction(
+                    a, targets[i], b, targets[j]
+                )
+
+    def test_interface_matrix_rejects_bad_target(self):
+        with pytest.raises(ValueError, match="not in support"):
+            interface_reduction_matrix([PauliString("XI")], [1])

@@ -109,3 +109,81 @@ class TestHelpers:
         a, b = basis_state(2, [0]), basis_state(2, [1])
         assert np.isclose(state_fidelity(a, a), 1.0)
         assert np.isclose(state_fidelity(a, b), 0.0)
+
+
+class TestSparseBasisStates:
+    """Regression: the sparse path must never allocate dense 2**n arrays."""
+
+    def test_sparse_matches_dense_small(self):
+        dense = basis_state(4, [0, 2])
+        sparse_state = basis_state(4, [0, 2], sparse=True)
+        assert sparse_state.shape == (16, 1)
+        assert sparse_state.nnz == 1
+        np.testing.assert_allclose(sparse_state.toarray().ravel(), dense)
+
+    def test_hartree_fock_sparse_matches_dense(self):
+        dense = hartree_fock_state(5, 3)
+        sparse_state = hartree_fock_state(5, 3, sparse=True)
+        np.testing.assert_allclose(sparse_state.toarray().ravel(), dense)
+
+    def test_sparse_at_30_qubits_stays_tiny(self):
+        # 2**30 complex amplitudes would be 16 GiB dense; the sparse column
+        # vector must hold exactly one stored entry at the MSB-convention index.
+        n_qubits = 30
+        state = basis_state(n_qubits, [0, n_qubits - 1], sparse=True)
+        assert state.shape == (2 ** n_qubits, 1)
+        assert state.nnz == 1
+        index = (1 << (n_qubits - 1)) | 1
+        assert state[index, 0] == 1.0
+
+    def test_hartree_fock_sparse_at_24_qubits(self):
+        n_qubits, n_electrons = 24, 6
+        state = hartree_fock_state(n_qubits, n_electrons, sparse=True)
+        assert state.nnz == 1
+        # First n_electrons modes filled = the n_electrons most significant bits.
+        expected = ((1 << n_electrons) - 1) << (n_qubits - n_electrons)
+        assert state[expected, 0] == 1.0
+
+    def test_sparse_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            basis_state(2, [5], sparse=True)
+
+
+class TestPermutationApplication:
+    """apply_pauli_string / apply_qubit_operator vs explicit sparse matrices."""
+
+    def test_apply_pauli_string_matches_matrix(self):
+        from repro.operators import PauliString
+        from repro.simulator import apply_pauli_string
+
+        rng = np.random.default_rng(7)
+        state = rng.normal(size=16) + 1j * rng.normal(size=16)
+        for label in ("IXYZ", "YYII", "ZIZX", "IIII"):
+            string = PauliString(label)
+            np.testing.assert_allclose(
+                apply_pauli_string(string, state, 0.5 - 0.25j),
+                (0.5 - 0.25j) * (string.to_sparse() @ state),
+                atol=1e-12,
+            )
+
+    def test_apply_qubit_operator_matches_matrix(self):
+        from repro.simulator import apply_qubit_operator
+
+        qubit_op = QubitOperator.from_label("XYZ", 0.3) + QubitOperator.from_label(
+            "ZZI", -1.2j
+        ) + QubitOperator.from_label("III", 0.7)
+        rng = np.random.default_rng(11)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        np.testing.assert_allclose(
+            apply_qubit_operator(qubit_op, state),
+            qubit_op.to_sparse() @ state,
+            atol=1e-12,
+        )
+
+    def test_expectation_value_qubit_operator_is_matrix_free(self):
+        qubit_op = QubitOperator.from_label("ZI", 1.5) + QubitOperator.from_label(
+            "IZ", -0.5
+        )
+        # Qubit 0 occupied: <ZI> = -1 and <IZ> = +1.
+        state = basis_state(2, [0])
+        assert expectation_value(qubit_op, state) == pytest.approx(-1.5 - 0.5)

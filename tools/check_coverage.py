@@ -1,0 +1,111 @@
+"""Dependency-free line-coverage gate for ``src/repro``.
+
+Runs the fast test tier under a ``sys.settrace`` hook that records executed
+lines for files under ``src/repro`` only (other frames are never line-traced,
+keeping the overhead modest), then compares the observed line coverage
+against the ``fail_under`` watermark in ``pyproject.toml``
+(``[tool.repro.coverage]``).  Exits non-zero when coverage drops below the
+watermark, so CI fails loudly when new code lands untested.
+
+Executable lines are derived from the compiled code objects of every module
+in the package (including modules the tests never import), so dead files
+count against the total exactly like coverage.py would.
+
+Usage:
+    PYTHONPATH=src python tools/check_coverage.py            # gate on tests/
+    PYTHONPATH=src python tools/check_coverage.py tests/core # subset (no gate)
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import tomllib
+import types
+from collections import defaultdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PREFIX = str(REPO_ROOT / "src" / "repro")
+
+_executed: dict = defaultdict(set)
+
+
+def _local_tracer(frame, event, arg):
+    if event == "line":
+        _executed[frame.f_code.co_filename].add(frame.f_lineno)
+    return _local_tracer
+
+
+def _global_tracer(frame, event, arg):
+    if event == "call" and frame.f_code.co_filename.startswith(SRC_PREFIX):
+        return _local_tracer
+    return None
+
+
+def executable_lines(path: Path) -> set:
+    """Line numbers carrying executable code, from the compiled code objects."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        lines.update(
+            line for _, _, line in current.co_lines() if line is not None and line > 0
+        )
+        stack.extend(
+            const for const in current.co_consts if isinstance(const, types.CodeType)
+        )
+    return lines
+
+
+def main() -> int:
+    import pytest
+
+    pytest_args = sys.argv[1:] or ["tests", "-q", "-p", "no:cacheprovider"]
+    gated = not sys.argv[1:]
+
+    threading.settrace(_global_tracer)
+    sys.settrace(_global_tracer)
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"\n[coverage] pytest failed (exit {exit_code}); not evaluating coverage")
+        return int(exit_code)
+
+    total_executable = 0
+    total_executed = 0
+    per_file = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        executable = executable_lines(path)
+        executed = _executed.get(str(path), set()) & executable
+        total_executable += len(executable)
+        total_executed += len(executed)
+        if executable:
+            per_file.append(
+                (len(executed) / len(executable), path.relative_to(REPO_ROOT), len(executable))
+            )
+
+    coverage = 100.0 * total_executed / max(total_executable, 1)
+    fail_under = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())["tool"][
+        "repro"
+    ]["coverage"]["fail_under"]
+
+    print(f"\n[coverage] line coverage of src/repro: {coverage:.2f}% "
+          f"({total_executed}/{total_executable} lines), watermark {fail_under}%")
+    worst = sorted(per_file)[:8]
+    for fraction, name, n_lines in worst:
+        print(f"[coverage]   {100.0 * fraction:6.2f}%  {name} ({n_lines} lines)")
+
+    if gated and coverage < fail_under:
+        print(f"[coverage] FAIL: {coverage:.2f}% < fail_under {fail_under}%")
+        return 1
+    print("[coverage] OK" if gated else "[coverage] (subset run, gate not applied)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
