@@ -11,8 +11,15 @@ The NH3 row and the deeper water progressions take several minutes in pure
 Python; pass ``--quick`` to restrict the sweep to the fast rows, and
 ``--workers N`` to fan the compilations out over N processes.
 
+Pass ``--topology {line,ring,grid,heavy-hex,all-to-all}`` to compile every
+row against the smallest device of that family covering the register
+(:func:`repro.hardware.topology_for`): each backend then reports routed
+CNOT/SWAP counts, depth, two-qubit depth and a gate histogram next to the
+abstract Table-I numbers, and the JSON rows carry the full routing metrics.
+
 Usage:
     python benchmarks/run_table1.py [--quick] [--seed 0] [--workers N]
+                                    [--topology KIND]
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from repro.api import (
     compile_batch,
 )
 from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
+from repro.hardware import TOPOLOGY_KINDS, topology_for
 from repro.vqe import hmp2_ranked_terms
 
 #: Table-I column order, by canonical backend name.
@@ -71,7 +79,7 @@ PAPER_TABLE1 = {
 }
 
 
-def build_requests(cases, seed: int):
+def build_requests(cases, seed: int, topology_kind=None):
     """One ``(molecule, request)`` pair per Table-I row."""
     config = CompilerConfig(
         gamma_steps=30, sorting_population=20, sorting_generations=25, seed=seed
@@ -81,12 +89,17 @@ def build_requests(cases, seed: int):
         scf = run_rhf(make_molecule(molecule_name))
         hamiltonian = build_molecular_hamiltonian(scf, n_frozen_spatial_orbitals=frozen)
         ranked = hmp2_ranked_terms(hamiltonian)
+        row_config = config
+        if topology_kind is not None:
+            row_config = config.replace(
+                topology=topology_for(topology_kind, hamiltonian.n_spin_orbitals)
+            )
         for n_terms in term_counts:
             terms = ranked[: min(n_terms, len(ranked))]
             request = CompileRequest(
                 terms=tuple(terms),
                 n_qubits=hamiltonian.n_spin_orbitals,
-                config=config,
+                config=row_config,
             )
             labeled.append((molecule_name, request))
     return labeled
@@ -97,11 +110,17 @@ def main() -> None:
     parser.add_argument("--quick", action="store_true", help="run only the fast rows")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1, help="compile in N processes")
+    parser.add_argument(
+        "--topology",
+        choices=TOPOLOGY_KINDS,
+        default=None,
+        help="compile against a device family and report routed metrics",
+    )
     parser.add_argument("--output", type=Path, default=Path("benchmarks/results_table1.json"))
     args = parser.parse_args()
 
     cases = QUICK_CASES if args.quick else FULL_CASES
-    labeled = build_requests(cases, args.seed)
+    labeled = build_requests(cases, args.seed, topology_kind=args.topology)
 
     rows = []
     header = (
@@ -138,6 +157,26 @@ def main() -> None:
                 f"{molecule_name:<9}{len(request.terms):>4}{jw:>7}{bk:>7}{baseline:>7}"
                 f"{advanced:>7}{improvement:>8.2f}   |        {paper_text}   [{elapsed:.1f}s]"
             )
+            routing = None
+            if args.topology is not None:
+                routing = {
+                    name: {
+                        "topology": row[name].routing.topology,
+                        "cnot_count": row[name].routing.cnot_count,
+                        "n_swaps": row[name].routing.n_swaps,
+                        "depth": row[name].routing.depth,
+                        "two_qubit_depth": row[name].routing.two_qubit_depth,
+                        "gate_histogram": dict(row[name].routing.gate_histogram),
+                    }
+                    for name in BACKENDS
+                }
+                adv_routed = routing["advanced"]
+                print(
+                    f"{'':>13}routed on {adv_routed['topology']}: "
+                    f"adv={adv_routed['cnot_count']} CNOTs, "
+                    f"2q-depth={adv_routed['two_qubit_depth']}, "
+                    f"swaps={adv_routed['n_swaps']}"
+                )
             rows.append(
                 {
                     "molecule": molecule_name,
@@ -148,6 +187,7 @@ def main() -> None:
                     "advanced": advanced,
                     "improvement_percent": improvement,
                     "paper": paper,
+                    "routing": routing,
                     "seconds": elapsed,
                 }
             )

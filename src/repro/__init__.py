@@ -24,7 +24,11 @@ The package is organised bottom-up:
 * :mod:`repro.api` — the unified compilation API: the
   :class:`~repro.api.CompilerBackend` protocol, the string-keyed backend
   registry, the frozen :class:`~repro.api.CompilerConfig`, and the memoized
-  :func:`~repro.api.compile_batch` service.
+  :func:`~repro.api.compile_batch` service;
+* :mod:`repro.hardware` — device coupling-graph topologies (line, ring,
+  grid, heavy-hex, custom), SABRE-style SWAP routing, and topology-steered
+  Pauli-exponential synthesis; set ``CompilerConfig(topology=...)`` and every
+  backend reports routed CNOT/SWAP/depth metrics next to the Table-I counts.
 
 Quickstart
 ----------

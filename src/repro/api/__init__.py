@@ -36,6 +36,7 @@ from repro.api.backends import (
     AdvancedBackend,
     BaselineBackend,
     NaiveTransformBackend,
+    compiled_rotation_sequence,
     register_default_backends,
 )
 from repro.api.batch import BackendResults, BatchResult, CompileCache, compile_batch
@@ -57,6 +58,7 @@ __all__ = [
     "available_backends",
     "canonical_backend_name",
     "compile_batch",
+    "compiled_rotation_sequence",
     "get_backend",
     "register_backend",
     "register_default_backends",

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.api.config import CompilerConfig
 from repro.core.terms_to_paulis import required_qubits
+from repro.hardware.routing import RoutingMetrics
 from repro.vqe import ExcitationTerm
 
 
@@ -50,6 +51,13 @@ class CompileRequest:
             object.__setattr__(self, "parameters", parameters)
         if not isinstance(self.config, CompilerConfig):
             raise TypeError("config must be a CompilerConfig")
+        topology = self.config.topology
+        if topology is not None and topology.n_qubits < self.resolved_n_qubits:
+            raise ValueError(
+                f"topology {topology.name!r} has {topology.n_qubits} qubits but "
+                f"the request needs {self.resolved_n_qubits}; pick a topology "
+                f"with at least {self.resolved_n_qubits} qubits"
+            )
 
     @property
     def resolved_n_qubits(self) -> int:
@@ -82,7 +90,12 @@ class CompileResult:
     ``details`` carries the backend's native result object (e.g. an
     :class:`~repro.core.pipeline.AdvancedCompilationResult`) for callers that
     need flow-specific data; it is excluded from equality so results cache and
-    compare on the headline numbers.
+    compare on the headline numbers.  ``routing`` holds the
+    :class:`~repro.hardware.routing.RoutingMetrics` of the synthesized
+    circuit when the request's config carried a topology (``None``
+    otherwise); for the advanced flow the routed circuit covers the
+    fermionic segment — compressed bosonic/hybrid segments are
+    cost-accounted, not synthesized.
     """
 
     backend: str
@@ -91,6 +104,7 @@ class CompileResult:
     breakdown: Dict[str, int] = field(compare=False, default_factory=dict)
     wall_time_s: float = field(compare=False, default=0.0)
     details: Any = field(compare=False, default=None, repr=False)
+    routing: Optional["RoutingMetrics"] = field(compare=False, default=None)
 
 
 @runtime_checkable

@@ -18,13 +18,21 @@ canonical name            alias    flow
 from __future__ import annotations
 
 import time
-from typing import Callable, List
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.backend import CompileRequest, CompileResult, register_backend
-from repro.baselines import BaselineCompiler, naive_cnot_count
+from repro.baselines import BaselineCompiler, naive_rotation_sequence
+from repro.circuits import optimize_circuit, sequence_cnot_count
 from repro.core import AdvancedPipeline
+from repro.core.config import CompilerConfig
+from repro.hardware import (
+    RoutingMetrics,
+    RoutingResult,
+    routed_exponential_sequence_circuit,
+)
+from repro.operators import PauliString
 from repro.transforms import (
     BravyiKitaevTransform,
     FermionQubitTransform,
@@ -32,16 +40,76 @@ from repro.transforms import (
 )
 
 
+def sequence_routing_metrics(
+    sequence: Sequence[Tuple[PauliString, float, Optional[int]]],
+    config: CompilerConfig,
+) -> Optional[RoutingMetrics]:
+    """Route a compiled rotation sequence against ``config.topology``.
+
+    Synthesizes the sequence with the topology-steered parity ladders (zero
+    SWAPs, identity permutation), realizes the gate-level interface
+    cancellations with the peephole optimizer (which never moves a gate onto
+    new qubits, so legality is preserved), and summarizes the executable
+    circuit.  Returns ``None`` when the config carries no topology.
+    """
+    topology = config.topology
+    if topology is None:
+        return None
+    circuit = optimize_circuit(routed_exponential_sequence_circuit(sequence, topology))
+    n_logical = sequence[0][0].n_qubits if sequence else topology.n_qubits
+    result = RoutingResult(
+        circuit=circuit,
+        topology=topology,
+        initial_layout=tuple(range(n_logical)),
+        final_layout=tuple(range(n_logical)),
+        n_swaps=0,
+    )
+    return result.metrics()
+
+
+def compiled_rotation_sequence(
+    result: CompileResult,
+    terms: Sequence,
+    parameters: Optional[Sequence[float]] = None,
+) -> List[Tuple[PauliString, float, Optional[int]]]:
+    """The ``(string, angle, target)`` sequence behind a default backend's result.
+
+    One place (shared by the routing benchmark, the routed-Table-I example and
+    the differential tests) that knows how each Table-I flow exposes its
+    compiled rotation order, keyed on ``result.backend``.
+    """
+    if result.backend == "jordan-wigner":
+        return naive_rotation_sequence(
+            list(terms), JordanWignerTransform(result.n_qubits), parameters
+        )
+    if result.backend == "bravyi-kitaev":
+        return naive_rotation_sequence(
+            list(terms), BravyiKitaevTransform(result.n_qubits), parameters
+        )
+    if result.backend == "baseline":
+        return list(result.details.ordered_exponentials)
+    if result.backend == "advanced":
+        return [
+            (rotation.string, rotation.angle, target)
+            for rotation, target in result.details.sorting.ordered_rotations
+        ]
+    raise ValueError(
+        f"no rotation-sequence extraction rule for backend {result.backend!r}"
+    )
+
+
 class NaiveTransformBackend:
     """Naive Trotterized compilation under a fixed fermion-to-qubit transform.
 
     The JW and BK reference columns of Table I: no compression, no reordering,
     only cancellations between consecutive rotations are credited.  The flow
-    reads nothing from the request config (``uses_config = False``), so cache
-    entries are shared across config sweeps.
+    reads nothing from the request config except the device topology
+    (``uses_config = False``; the cache key re-adds the topology), so cache
+    entries are shared across sweeps of the pipeline knobs.
     """
 
-    #: This backend compiles identically under every CompilerConfig.
+    #: Apart from the topology (kept in the cache key), this backend
+    #: compiles identically under every CompilerConfig.
     uses_config = False
 
     def __init__(
@@ -59,17 +127,26 @@ class NaiveTransformBackend:
     def compile(self, request: CompileRequest) -> CompileResult:
         start = time.perf_counter()
         n_qubits = request.resolved_n_qubits
-        count = naive_cnot_count(
-            list(request.terms),
-            self._transform_factory(n_qubits),
-            list(request.parameters) if request.parameters is not None else None,
+        transform = self._transform_factory(n_qubits)
+        parameters = (
+            list(request.parameters) if request.parameters is not None else None
         )
+        # One Trotterization serves both the count and the routed synthesis
+        # (naive_cnot_count is exactly the analytic cost of this sequence).
+        sequence = naive_rotation_sequence(list(request.terms), transform, parameters)
+        count = sequence_cnot_count(
+            [(string, target) for string, _, target in sequence]
+        )
+        routing = None
+        if request.config.topology is not None:
+            routing = sequence_routing_metrics(sequence, request.config)
         return CompileResult(
             backend=self._name,
             cnot_count=count,
             n_qubits=n_qubits,
             breakdown={"total": count},
             wall_time_s=time.perf_counter() - start,
+            routing=routing,
         )
 
 
@@ -103,6 +180,11 @@ class BaselineBackend:
             n_qubits=n_qubits,
             parameters=list(request.parameters) if request.parameters is not None else None,
         )
+        routing = None
+        if config.topology is not None:
+            routing = sequence_routing_metrics(
+                list(result.ordered_exponentials), config
+            )
         return CompileResult(
             backend=self.name,
             cnot_count=result.cnot_count,
@@ -114,6 +196,7 @@ class BaselineBackend:
             },
             wall_time_s=time.perf_counter() - start,
             details=result,
+            routing=routing,
         )
 
 
@@ -130,6 +213,13 @@ class AdvancedBackend:
             n_qubits=request.resolved_n_qubits,
             parameters=list(request.parameters) if request.parameters is not None else None,
         )
+        routing = None
+        if request.config.topology is not None:
+            sequence = [
+                (rotation.string, rotation.angle, target)
+                for rotation, target in result.sorting.ordered_rotations
+            ]
+            routing = sequence_routing_metrics(sequence, request.config)
         return CompileResult(
             backend=self.name,
             cnot_count=result.cnot_count,
@@ -137,6 +227,7 @@ class AdvancedBackend:
             breakdown=result.breakdown(),
             wall_time_s=time.perf_counter() - start,
             details=result,
+            routing=routing,
         )
 
 

@@ -51,16 +51,18 @@ class CompileCache:
 
     @staticmethod
     def key(request: CompileRequest, backend_name: str) -> CacheKey:
-        """Memoization key; config is excluded for config-blind backends.
+        """Memoization key; config is mostly excluded for config-blind backends.
 
         A backend declaring ``uses_config = False`` (the naive JW/BK flows)
         compiles identically under every config, so sweeps over pipeline
-        knobs share its cache entries.
+        knobs share its cache entries.  The one exception is the device
+        ``topology``: even the naive flows route against it, so it stays in
+        the key.
         """
         backend = get_backend(backend_name)
         if getattr(backend, "uses_config", True):
             return (request.fingerprint, backend.name)
-        return (request.input_fingerprint, backend.name)
+        return (request.input_fingerprint, request.config.topology, backend.name)
 
     def get(self, key: CacheKey) -> Optional[CompileResult]:
         result = self._store.get(key)

@@ -16,6 +16,7 @@ from repro.core.advanced_sorting import (
     build_sorting_problem,
     greedy_sort,
     result_to_tour,
+    routed_sequence_cost_estimate,
     term_block_tour,
 )
 from repro.core.config import CompilerConfig
@@ -89,6 +90,7 @@ __all__ = [
     "greedy_sort",
     "baseline_order_cnot_count",
     "build_sorting_problem",
+    "routed_sequence_cost_estimate",
     "GammaSearchResult",
     "search_block_diagonal_gamma",
     "excitation_topology_blocks",

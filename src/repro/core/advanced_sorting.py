@@ -23,7 +23,12 @@ from repro.circuits import (
     sequence_cnot_count,
 )
 from repro.core.terms_to_paulis import PauliRotation
-from repro.operators import PauliString, interface_reduction_matrix
+from repro.hardware.topology import Topology
+from repro.operators import (
+    PauliString,
+    interface_reduction_matrix,
+    routed_vertex_cost_vector,
+)
 from repro.optimizers import GtspProblem, solve_gtsp
 
 #: A GTSP vertex: (rotation index, target qubit).
@@ -56,22 +61,63 @@ def vertex_savings(
 
 @dataclass
 class SortingResult:
-    """Ordered, targeted rotation sequence produced by the advanced sorting."""
+    """Ordered, targeted rotation sequence produced by the advanced sorting.
+
+    ``cnot_count`` is always the paper's all-to-all accounting;
+    ``routed_cost_estimate`` is the distance-weighted cost of the same
+    sequence when the sort ran against a topology (``None`` otherwise).
+    """
 
     ordered_rotations: List[Tuple[PauliRotation, int]]
     cnot_count: int
+    routed_cost_estimate: Optional[int] = None
 
     def targeted_strings(self) -> List[Tuple[PauliString, int]]:
         """The ``(PauliString, target)`` pairs in compiled order."""
         return [(rotation.string, target) for rotation, target in self.ordered_rotations]
 
+    def objective(self) -> int:
+        """The cost the sort optimized: routed estimate if present, else CNOTs."""
+        if self.routed_cost_estimate is not None:
+            return self.routed_cost_estimate
+        return self.cnot_count
 
-def build_sorting_problem(rotations: Sequence[PauliRotation]) -> GtspProblem:
+
+def routed_sequence_cost_estimate(
+    sequence: Sequence[Tuple[PauliString, int]], topology: Topology
+) -> int:
+    """Distance-weighted CNOT estimate of a targeted sequence on a device.
+
+    Sum of the steered per-vertex ladder costs
+    (:func:`repro.operators.routed_vertex_cost_vector`) minus the Sec. III-B
+    interface savings between consecutive exponentials — the path cost the
+    distance-weighted GTSP optimizes.  On all-to-all distances this equals
+    :func:`repro.circuits.sequence_cnot_count` exactly.
+    """
+    if not sequence:
+        return 0
+    strings = [string for string, _ in sequence]
+    targets = [target for _, target in sequence]
+    costs = routed_vertex_cost_vector(strings, targets, topology.distance_matrix)
+    total = int(costs.sum())
+    for (p1, t1), (p2, t2) in zip(sequence, sequence[1:]):
+        total -= interface_cnot_reduction(p1, t1, p2, t2)
+    return total
+
+
+def build_sorting_problem(
+    rotations: Sequence[PauliRotation], topology: Optional[Topology] = None
+) -> GtspProblem:
     """Build the GTSP instance of Sec. III-B for a list of Pauli rotations.
 
-    The edge weights are served from one precomputed pairwise savings matrix,
-    so the genetic algorithm's many repeated weight queries cost a dictionary
-    lookup each instead of a per-qubit scan.
+    The edge weights are served from one precomputed pairwise matrix, so the
+    genetic algorithm's many repeated weight queries cost a dictionary lookup
+    each instead of a per-qubit scan.  Without a topology the weight is minus
+    the interface saving (the paper's objective); with one it is the
+    distance-weighted cost matrix
+    (:func:`repro.operators.distance_weighted_cost_matrix`), which folds the
+    per-target steered ladder cost into the incoming edge so target choices
+    trade connectivity against cancellation.
     """
     rotations = list(rotations)
     if not rotations:
@@ -85,9 +131,20 @@ def build_sorting_problem(rotations: Sequence[PauliRotation]) -> GtspProblem:
 
     vertices, savings = vertex_savings(rotations)
     row_of = {vertex: row for row, vertex in enumerate(vertices)}
+    if topology is None:
+        matrix = -savings
+    else:
+        # Reuse the savings matrix vertex_savings already built instead of
+        # letting distance_weighted_cost_matrix recompute it.
+        costs = routed_vertex_cost_vector(
+            [rotations[index].string for index, _ in vertices],
+            [target for _, target in vertices],
+            topology.distance_matrix,
+        )
+        matrix = costs[None, :] - savings
 
     def weight(u: SortingVertex, v: SortingVertex) -> float:
-        return -float(savings[row_of[u], row_of[v]])
+        return float(matrix[row_of[u], row_of[v]])
 
     return GtspProblem(clusters=clusters, weight=weight)
 
@@ -126,33 +183,52 @@ def result_to_tour(
     return [(index_of[id(rotation)], target) for rotation, target in result.ordered_rotations]
 
 
+def _finalize_sorting(
+    ordered: List[Tuple[PauliRotation, int]], topology: Optional[Topology]
+) -> SortingResult:
+    """Package a targeted sequence with its all-to-all and routed costs."""
+    sequence = [(rotation.string, target) for rotation, target in ordered]
+    return SortingResult(
+        ordered_rotations=ordered,
+        cnot_count=sequence_cnot_count(sequence),
+        routed_cost_estimate=(
+            None if topology is None else routed_sequence_cost_estimate(sequence, topology)
+        ),
+    )
+
+
 def advanced_sort(
     rotations: Sequence[PauliRotation],
     population_size: int = 24,
     generations: int = 30,
     rng: Optional[np.random.Generator] = None,
     seed_tours: Optional[Sequence[Sequence[SortingVertex]]] = None,
+    topology: Optional[Topology] = None,
 ) -> SortingResult:
     """Order rotations and pick per-rotation targets to minimize the CNOT count.
 
     ``seed_tours`` are ``(rotation index, target)`` sequences injected into
     the genetic algorithm's starting population (see
     :func:`repro.optimizers.solve_gtsp`); the search result is then never
-    worse, as a cycle, than the best seed.
+    worse, as a cycle, than the best seed.  With a ``topology`` the GTSP
+    weights and the seed comparison both use the distance-weighted routed
+    cost instead of the all-to-all CNOT count.
     """
     rotations = list(rotations)
     if not rotations:
-        return SortingResult(ordered_rotations=[], cnot_count=0)
+        return SortingResult(
+            ordered_rotations=[],
+            cnot_count=0,
+            routed_cost_estimate=None if topology is None else 0,
+        )
     rng = rng or np.random.default_rng()
 
     if len(rotations) == 1:
         rotation = rotations[0]
         target = rotation.string.support[-1]
-        return SortingResult(
-            ordered_rotations=[(rotation, target)], cnot_count=rotation.cnot_cost
-        )
+        return _finalize_sorting([(rotation, target)], topology)
 
-    problem = build_sorting_problem(rotations)
+    problem = build_sorting_problem(rotations, topology=topology)
     initial_tours = None
     if seed_tours:
         initial_tours = [
@@ -165,47 +241,74 @@ def advanced_sort(
         rng=rng,
         initial_tours=initial_tours,
     )
-    # Determine the weakest edge of the cycle and cut there (path compilation).
+    # Determine the weakest edge of the cycle and cut there (path compilation):
+    # the edge with the least interface saving, or — under a topology — the
+    # largest distance-weighted edge weight.
     n = len(solution.tour)
-    savings = []
+    cut_scores = []
     for position in range(n):
-        _, (index_a, target_a) = solution.tour[position]
-        _, (index_b, target_b) = solution.tour[(position + 1) % n]
-        savings.append(
-            interface_cnot_reduction(
-                rotations[index_a].string, target_a, rotations[index_b].string, target_b
+        _, u = solution.tour[position]
+        _, v = solution.tour[(position + 1) % n]
+        if topology is None:
+            index_a, target_a = u
+            index_b, target_b = v
+            cut_scores.append(
+                interface_cnot_reduction(
+                    rotations[index_a].string,
+                    target_a,
+                    rotations[index_b].string,
+                    target_b,
+                )
             )
-        )
-    cut = int(np.argmin(savings))
+        else:
+            cut_scores.append(-problem.weight(u, v))
+    cut = int(np.argmin(cut_scores))
     ordered: List[Tuple[PauliRotation, int]] = []
     for step in range(n):
         _, (index, target) = solution.tour[(cut + 1 + step) % n]
         ordered.append((rotations[index], target))
 
-    cnot_count = sequence_cnot_count([(r.string, t) for r, t in ordered])
+    result = _finalize_sorting(ordered, topology)
     # The weakest-edge cut minimizes the *cycle* cost, which does not strictly
     # dominate every seed evaluated as a path; compare against the seeds
     # directly so the result is never worse than one of them.
     for tour in seed_tours or ():
         seed_ordered = [(rotations[index], target) for index, target in tour]
-        seed_count = sequence_cnot_count([(r.string, t) for r, t in seed_ordered])
-        if seed_count < cnot_count:
-            ordered, cnot_count = seed_ordered, seed_count
-    return SortingResult(ordered_rotations=ordered, cnot_count=cnot_count)
+        seed_result = _finalize_sorting(seed_ordered, topology)
+        if seed_result.objective() < result.objective():
+            result = seed_result
+    return result
 
 
-def greedy_sort(rotations: Sequence[PauliRotation]) -> SortingResult:
+def greedy_sort(
+    rotations: Sequence[PauliRotation], topology: Optional[Topology] = None
+) -> SortingResult:
     """Cheap nearest-neighbour alternative to the GTSP genetic algorithm.
 
     Starting from the first rotation (with its default target), the next
     rotation/target pair is always the one with the largest interface
-    cancellation.  Used as the fast inner cost function of the Γ simulated
-    annealing and as an ablation reference for the full GTSP solver.
+    cancellation — or, under a ``topology``, the smallest distance-weighted
+    cost.  Used as the fast inner cost function of the Γ simulated annealing
+    and as an ablation reference for the full GTSP solver.
     """
     rotations = list(rotations)
     if not rotations:
-        return SortingResult(ordered_rotations=[], cnot_count=0)
+        return SortingResult(
+            ordered_rotations=[],
+            cnot_count=0,
+            routed_cost_estimate=None if topology is None else 0,
+        )
     vertices, savings = vertex_savings(rotations)
+    if topology is None:
+        preference = savings  # maximize the interface saving
+    else:
+        # minimize cost[v] - savings[u, v]; savings is reused, not recomputed
+        costs = routed_vertex_cost_vector(
+            [rotations[index].string for index, _ in vertices],
+            [target for _, target in vertices],
+            topology.distance_matrix,
+        )
+        preference = savings - costs[None, :]
     vertex_rotation = np.array([index for index, _ in vertices], dtype=np.int64)
     row_of = {vertex: row for row, vertex in enumerate(vertices)}
 
@@ -219,13 +322,12 @@ def greedy_sort(rotations: Sequence[PauliRotation]) -> SortingResult:
     # nested loop did: lowest rotation index first, then lowest target.
     for _ in range(len(rotations) - 1):
         candidates = np.nonzero(alive)[0]
-        best = candidates[int(np.argmax(savings[current, candidates]))]
+        best = candidates[int(np.argmax(preference[current, candidates]))]
         index, target = vertices[best]
         ordered.append((rotations[index], target))
         alive &= vertex_rotation != index
         current = best
-    cnot_count = sequence_cnot_count([(r.string, t) for r, t in ordered])
-    return SortingResult(ordered_rotations=ordered, cnot_count=cnot_count)
+    return _finalize_sorting(ordered, topology)
 
 
 def baseline_order_cnot_count(rotations: Sequence[PauliRotation]) -> int:

@@ -18,6 +18,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.hardware.topology import Topology
+
 
 @dataclass(frozen=True)
 class CompilerConfig:
@@ -46,6 +48,14 @@ class CompilerConfig:
     baseline_pso_particles, baseline_pso_iterations:
         Budget of the baseline compiler's binary-PSO transformation search
         (``iterations=0`` keeps the identity transformation, the default).
+    topology:
+        Optional device :class:`~repro.hardware.topology.Topology`.  When
+        set, every backend synthesizes its rotation sequence with the
+        topology-steered parity ladders and attaches
+        :class:`~repro.hardware.routing.RoutingMetrics` to its result, and
+        the advanced sorting's GTSP weights switch to the distance-weighted
+        cost matrix.  ``None`` (the default) keeps the paper's all-to-all
+        accounting bit-identical.
     """
 
     use_bosonic_encoding: bool = True
@@ -60,8 +70,13 @@ class CompilerConfig:
     seed: Optional[int] = 0
     baseline_pso_particles: int = 10
     baseline_pso_iterations: int = 0
+    topology: Optional[Topology] = None
 
     def __post_init__(self):
+        if self.topology is not None:
+            if not isinstance(self.topology, Topology):
+                raise TypeError("topology must be a repro.hardware.Topology or None")
+            self.topology.require_connected()
         if self.gamma_steps < 0:
             raise ValueError("gamma_steps must be non-negative")
         # The GA population constraint only binds when the GA actually runs;

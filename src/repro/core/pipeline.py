@@ -208,10 +208,14 @@ def gamma_search_stage(context: StageContext) -> None:
     fermionic = context.fermionic_terms
     term_parameters = _resolve_term_parameters(context)
 
+    topology = context.config.topology
+
     def sorting_cost(candidate_gamma: np.ndarray) -> float:
         transform = LinearEncodingTransform(candidate_gamma)
         rotations = terms_to_rotations(fermionic, transform, term_parameters)
-        return float(greedy_sort(rotations).cnot_count)
+        # With a device topology the Γ search optimizes the same
+        # distance-weighted objective the sorting stage will use.
+        return float(greedy_sort(rotations, topology=topology).objective())
 
     search = search_block_diagonal_gamma(
         fermionic,
@@ -246,7 +250,7 @@ def sort_stage(context: StageContext) -> None:
     if not config.use_advanced_sorting:
         naive_sort_stage(context)
         return
-    greedy = greedy_sort(context.rotations)
+    greedy = greedy_sort(context.rotations, topology=config.topology)
     seed_tours = None
     if config.sorting_seed_tours:
         seed_tours = [
@@ -259,8 +263,11 @@ def sort_stage(context: StageContext) -> None:
         generations=config.sorting_generations,
         rng=context.rng,
         seed_tours=seed_tours,
+        topology=config.topology,
     )
-    if greedy.cnot_count < sorting.cnot_count:
+    # Both results expose the objective the sort ran under (all-to-all CNOTs,
+    # or the distance-weighted routed estimate when a topology is set).
+    if greedy.objective() < sorting.objective():
         sorting = greedy
     context.sorting = sorting
 

@@ -1,0 +1,50 @@
+"""Hardware topology model and connectivity-aware routing/synthesis.
+
+The subpackage turns the abstract all-to-all Table-I circuits into
+device-executable ones:
+
+* :class:`~repro.hardware.topology.Topology` — frozen, hashable coupling
+  graphs (line, ring, grid, heavy-hex, all-to-all, custom) with cached BFS
+  distance/predecessor matrices;
+* :func:`~repro.hardware.routing.route_circuit` — SABRE-style SWAP routing of
+  arbitrary circuits, with :class:`~repro.hardware.routing.RoutingResult`
+  recording the inserted SWAPs and the logical-to-physical permutation;
+* :func:`~repro.hardware.synthesis.routed_pauli_exponential_circuit` —
+  topology-steered parity ladders that synthesize Pauli exponentials
+  connectivity-legally with zero SWAPs.
+
+Set ``CompilerConfig(topology=...)`` to have every registered backend attach
+:class:`~repro.hardware.routing.RoutingMetrics` to its ``CompileResult``.
+"""
+
+from repro.hardware.routing import (
+    SWAP_CNOT_COST,
+    RoutingMetrics,
+    RoutingResult,
+    decompose_swaps,
+    naive_route_circuit,
+    route_circuit,
+)
+from repro.hardware.synthesis import (
+    routed_exponential_sequence_circuit,
+    routed_pauli_exponential_circuit,
+    routed_pauli_exponential_cnot_count,
+    steiner_parent_map,
+)
+from repro.hardware.topology import TOPOLOGY_KINDS, Topology, topology_for
+
+__all__ = [
+    "SWAP_CNOT_COST",
+    "TOPOLOGY_KINDS",
+    "RoutingMetrics",
+    "RoutingResult",
+    "Topology",
+    "decompose_swaps",
+    "naive_route_circuit",
+    "route_circuit",
+    "routed_exponential_sequence_circuit",
+    "routed_pauli_exponential_circuit",
+    "routed_pauli_exponential_cnot_count",
+    "steiner_parent_map",
+    "topology_for",
+]

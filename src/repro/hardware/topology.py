@@ -1,0 +1,308 @@
+"""Device coupling-graph model for connectivity-aware compilation.
+
+A :class:`Topology` is an undirected coupling graph on a fixed number of
+physical qubits: a two-qubit gate may only execute on a pair of qubits joined
+by an edge.  The class is a frozen dataclass over canonical edge tuples, so a
+topology is hashable, participates in :class:`~repro.core.config.CompilerConfig`
+equality and cache fingerprints, and can be shared freely between threads and
+worker processes.  All-pairs BFS distance and predecessor matrices are computed
+once per instance and cached outside the dataclass fields (they never enter
+equality or hashing).
+
+Constructors cover the standard device families:
+
+* :meth:`Topology.all_to_all` — the paper's implicit Table-I assumption;
+* :meth:`Topology.line` / :meth:`Topology.ring` — 1-D chains (trapped ions,
+  early superconducting devices);
+* :meth:`Topology.grid` — 2-D square lattices (Google Sycamore style);
+* :meth:`Topology.heavy_hex` — the IBM heavy-hexagon tiling (degree ≤ 3);
+* :meth:`Topology.from_edges` — arbitrary user-supplied coupling maps.
+
+This module deliberately imports nothing from the rest of :mod:`repro`, so the
+low-level config layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+#: Canonical undirected edge: (low qubit, high qubit).
+Edge = Tuple[int, int]
+
+
+def _canonical_edges(edges: Iterable[Sequence[int]], n_qubits: int) -> Tuple[Edge, ...]:
+    """Validate, normalize and sort an edge list into canonical form."""
+    seen = set()
+    for edge in edges:
+        if len(edge) != 2:
+            raise ValueError(f"an edge needs exactly two qubits, got {tuple(edge)}")
+        a, b = int(edge[0]), int(edge[1])
+        if a == b:
+            raise ValueError(f"self-loop edge ({a}, {b}) is not a coupling")
+        if not (0 <= a < n_qubits and 0 <= b < n_qubits):
+            raise ValueError(
+                f"edge ({a}, {b}) is outside a register of {n_qubits} qubits"
+            )
+        seen.add((min(a, b), max(a, b)))
+    return tuple(sorted(seen))
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected coupling graph on ``n_qubits`` physical qubits.
+
+    Equality, hashing and ``dataclasses.astuple`` (used by config
+    fingerprints) see only ``n_qubits``, ``edges`` and ``name``; the BFS
+    caches are lazy instance state.
+    """
+
+    n_qubits: int
+    edges: Tuple[Edge, ...]
+    name: str = "custom"
+
+    def __post_init__(self):
+        if self.n_qubits <= 0:
+            raise ValueError("a topology needs at least one qubit")
+        object.__setattr__(
+            self, "edges", _canonical_edges(self.edges, self.n_qubits)
+        )
+        # Lazy caches (adjacency, distance, predecessor); not dataclass fields,
+        # so they stay out of equality, hashing and astuple fingerprints.
+        object.__setattr__(self, "_cache", {})
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, n_qubits: int, edges: Iterable[Sequence[int]], name: str = "custom"
+    ) -> "Topology":
+        """A topology from an arbitrary coupling map (edges are normalized)."""
+        return cls(n_qubits=n_qubits, edges=tuple(tuple(e) for e in edges), name=name)
+
+    @classmethod
+    def all_to_all(cls, n_qubits: int) -> "Topology":
+        """Full connectivity — every pair of qubits is coupled."""
+        edges = tuple(
+            (a, b) for a in range(n_qubits) for b in range(a + 1, n_qubits)
+        )
+        return cls(n_qubits=n_qubits, edges=edges, name=f"all-to-all-{n_qubits}")
+
+    @classmethod
+    def line(cls, n_qubits: int) -> "Topology":
+        """A 1-D open chain ``0 - 1 - ... - (n-1)``."""
+        edges = tuple((q, q + 1) for q in range(n_qubits - 1))
+        return cls(n_qubits=n_qubits, edges=edges, name=f"line-{n_qubits}")
+
+    @classmethod
+    def ring(cls, n_qubits: int) -> "Topology":
+        """A 1-D closed chain (the line plus the wrap-around edge)."""
+        edges = [(q, q + 1) for q in range(n_qubits - 1)]
+        if n_qubits > 2:
+            edges.append((0, n_qubits - 1))
+        return cls(n_qubits=n_qubits, edges=tuple(edges), name=f"ring-{n_qubits}")
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "Topology":
+        """A ``rows x cols`` square lattice, row-major qubit numbering."""
+        if rows <= 0 or cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return cls(
+            n_qubits=rows * cols, edges=tuple(edges), name=f"grid-{rows}x{cols}"
+        )
+
+    @classmethod
+    def heavy_hex(cls, rows: int = 1, cols: int = 1) -> "Topology":
+        """An IBM-style heavy-hexagon tiling of ``rows x cols`` hexagon cells.
+
+        ``rows + 1`` horizontal chains of ``4 cols + 1`` qubits each are joined
+        by bridge qubits: between chains ``r`` and ``r + 1`` a bridge sits at
+        every column ``c`` with ``c % 4 == 0`` (even ``r``) or ``c % 4 == 2``
+        (odd ``r``).  Every qubit has degree at most three, the defining
+        heavy-hex property.
+        """
+        if rows <= 0 or cols <= 0:
+            raise ValueError("heavy-hex dimensions must be positive")
+        row_len = 4 * cols + 1
+        n_chain = (rows + 1) * row_len
+        edges: List[Edge] = []
+        for r in range(rows + 1):
+            base = r * row_len
+            edges.extend((base + c, base + c + 1) for c in range(row_len - 1))
+        next_qubit = n_chain
+        for r in range(rows):
+            offset = 0 if r % 2 == 0 else 2
+            for c in range(offset, row_len, 4):
+                bridge = next_qubit
+                next_qubit += 1
+                edges.append((r * row_len + c, bridge))
+                edges.append((bridge, (r + 1) * row_len + c))
+        return cls(
+            n_qubits=next_qubit, edges=tuple(edges), name=f"heavy-hex-{rows}x{cols}"
+        )
+
+    # ------------------------------------------------------------------
+    # Graph queries
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def _adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        cache = self._cache  # type: ignore[attr-defined]
+        if "adjacency" not in cache:
+            neighbors: List[List[int]] = [[] for _ in range(self.n_qubits)]
+            for a, b in self.edges:
+                neighbors[a].append(b)
+                neighbors[b].append(a)
+            cache["adjacency"] = tuple(tuple(sorted(ns)) for ns in neighbors)
+        return cache["adjacency"]
+
+    def neighbors(self, qubit: int) -> Tuple[int, ...]:
+        """Sorted qubits coupled to ``qubit``."""
+        self.validate_qubit(qubit)
+        return self._adjacency()[qubit]
+
+    def degree(self, qubit: int) -> int:
+        return len(self.neighbors(qubit))
+
+    def is_edge(self, a: int, b: int) -> bool:
+        """True if a two-qubit gate may act directly on ``(a, b)``."""
+        self.validate_qubit(a)
+        self.validate_qubit(b)
+        return a != b and b in self._adjacency()[a]
+
+    def validate_qubit(self, qubit: int) -> None:
+        if not (0 <= qubit < self.n_qubits):
+            raise ValueError(
+                f"qubit {qubit} is outside topology {self.name!r} "
+                f"of {self.n_qubits} qubits"
+            )
+
+    # ------------------------------------------------------------------
+    # Cached BFS distance / predecessor matrices
+    # ------------------------------------------------------------------
+    def _bfs_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        cache = self._cache  # type: ignore[attr-defined]
+        if "bfs" not in cache:
+            n = self.n_qubits
+            adjacency = self._adjacency()
+            distance = np.full((n, n), -1, dtype=np.int64)
+            predecessor = np.full((n, n), -1, dtype=np.int64)
+            for source in range(n):
+                distance[source, source] = 0
+                queue = deque([source])
+                while queue:
+                    current = queue.popleft()
+                    for neighbor in adjacency[current]:
+                        if distance[source, neighbor] < 0:
+                            distance[source, neighbor] = distance[source, current] + 1
+                            predecessor[source, neighbor] = current
+                            queue.append(neighbor)
+            distance.flags.writeable = False
+            predecessor.flags.writeable = False
+            cache["bfs"] = (distance, predecessor)
+        return cache["bfs"]
+
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs hop distances (read-only); ``-1`` marks unreachable pairs."""
+        return self._bfs_matrices()[0]
+
+    @property
+    def predecessor_matrix(self) -> np.ndarray:
+        """``P[s, v]`` is ``v``'s predecessor on a shortest ``s -> v`` path."""
+        return self._bfs_matrices()[1]
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance between two qubits (``-1`` if disconnected)."""
+        self.validate_qubit(a)
+        self.validate_qubit(b)
+        return int(self.distance_matrix[a, b])
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One shortest path ``[a, ..., b]`` (BFS tie-break: lowest neighbor)."""
+        self.validate_qubit(a)
+        self.validate_qubit(b)
+        if self.distance_matrix[a, b] < 0:
+            raise ValueError(
+                f"qubits {a} and {b} are disconnected in topology {self.name!r}"
+            )
+        predecessor = self.predecessor_matrix
+        path = [b]
+        while path[-1] != a:
+            path.append(int(predecessor[a, path[-1]]))
+        return path[::-1]
+
+    @property
+    def is_connected(self) -> bool:
+        return bool(np.all(self.distance_matrix >= 0))
+
+    def require_connected(self) -> None:
+        """Raise if any qubit pair is unreachable (routing needs one component)."""
+        if not self.is_connected:
+            distance = self.distance_matrix
+            a, b = np.argwhere(distance < 0)[0]
+            raise ValueError(
+                f"topology {self.name!r} is disconnected: no path between "
+                f"qubits {int(a)} and {int(b)}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, n_qubits={self.n_qubits}, "
+            f"n_edges={self.n_edges})"
+        )
+
+
+#: Topology family names accepted by :func:`topology_for`.
+TOPOLOGY_KINDS = ("all-to-all", "line", "ring", "grid", "heavy-hex")
+
+
+def topology_for(kind: str, n_qubits: int) -> Topology:
+    """The smallest standard topology of a family covering ``n_qubits``.
+
+    ``grid`` picks the near-square ``rows x cols`` with ``rows * cols >=
+    n_qubits``; ``heavy-hex`` picks the smallest tiling with enough qubits.
+    The returned topology may have more physical qubits than requested —
+    routing places the logical register on the first qubits and uses the rest
+    as ancilla space.
+    """
+    if n_qubits <= 0:
+        raise ValueError("n_qubits must be positive")
+    if kind == "all-to-all":
+        return Topology.all_to_all(n_qubits)
+    if kind == "line":
+        return Topology.line(n_qubits)
+    if kind == "ring":
+        return Topology.ring(n_qubits)
+    if kind == "grid":
+        rows = max(1, int(np.sqrt(n_qubits)))
+        cols = -(-n_qubits // rows)
+        return Topology.grid(rows, cols)
+    if kind == "heavy-hex":
+        best: Dict[str, Topology] = {}
+        for rows in range(1, n_qubits + 1):
+            for cols in range(1, n_qubits + 1):
+                candidate = Topology.heavy_hex(rows, cols)
+                if candidate.n_qubits >= n_qubits:
+                    current = best.get("topology")
+                    if current is None or candidate.n_qubits < current.n_qubits:
+                        best["topology"] = candidate
+                    break  # wider tilings only grow
+            if "topology" in best and rows > 1:
+                break  # taller tilings only grow past the first hit
+        return best["topology"]
+    raise ValueError(f"unknown topology kind {kind!r}; choose from {TOPOLOGY_KINDS}")

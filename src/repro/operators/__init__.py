@@ -21,8 +21,11 @@ from repro.operators.qubit import QubitOperator
 from repro.operators.symplectic import (
     PackedPaulis,
     commutation_matrix,
+    distance_weighted_cost_matrix,
     interface_reduction_matrix,
     overlap_matrix,
+    routed_vertex_cost_vector,
+    support_matrix,
     weight_vector,
 )
 
@@ -33,7 +36,10 @@ __all__ = [
     "PauliString",
     "QubitOperator",
     "commutation_matrix",
+    "distance_weighted_cost_matrix",
     "interface_reduction_matrix",
     "overlap_matrix",
+    "routed_vertex_cost_vector",
+    "support_matrix",
     "weight_vector",
 ]

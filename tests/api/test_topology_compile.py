@@ -1,0 +1,114 @@
+"""Topology-aware compilation through the unified API.
+
+Covers the config/request plumbing (validation, fingerprints, cache keys)
+and the routing metrics every backend attaches when a topology is set.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    CompileCache,
+    CompileRequest,
+    CompilerConfig,
+    compile_batch,
+    get_backend,
+)
+from repro.hardware import RoutingMetrics, Topology
+from repro.vqe import ExcitationTerm
+
+TERMS = (
+    ExcitationTerm(creation=(2, 3), annihilation=(0, 1)),
+    ExcitationTerm(creation=(3,), annihilation=(0,)),
+)
+
+LINE4 = Topology.line(4)
+
+
+class TestConfigField:
+    def test_default_is_none(self):
+        assert CompilerConfig().topology is None
+
+    def test_topology_participates_in_fingerprint_and_hash(self):
+        base = CompilerConfig(seed=0)
+        routed = base.replace(topology=LINE4)
+        assert base.fingerprint != routed.fingerprint
+        assert hash(base) != hash(routed)
+        assert routed.replace(topology=Topology.ring(4)) != routed
+        # identical topologies compare equal through the config
+        assert routed == CompilerConfig(seed=0, topology=Topology.line(4))
+
+    def test_type_and_connectivity_validation(self):
+        with pytest.raises(TypeError, match="Topology"):
+            CompilerConfig(topology="line-4")
+        disconnected = Topology.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="disconnected"):
+            CompilerConfig(topology=disconnected)
+
+
+class TestRequestValidation:
+    def test_too_small_topology_names_both_sizes(self):
+        config = CompilerConfig(topology=Topology.line(3))
+        with pytest.raises(ValueError) as excinfo:
+            CompileRequest(terms=TERMS, config=config)
+        message = str(excinfo.value)
+        assert "line-3" in message and "3 qubits" in message and "needs 4" in message
+
+    def test_explicit_n_qubits_checked_too(self):
+        config = CompilerConfig(topology=LINE4)
+        with pytest.raises(ValueError, match="needs 6"):
+            CompileRequest(terms=TERMS, n_qubits=6, config=config)
+
+    def test_matching_and_larger_topologies_accepted(self):
+        CompileRequest(terms=TERMS, config=CompilerConfig(topology=LINE4))
+        CompileRequest(terms=TERMS, config=CompilerConfig(topology=Topology.grid(2, 3)))
+
+
+@pytest.mark.parametrize("backend_name", ["jw", "bk", "gt", "adv"])
+class TestBackendRoutingMetrics:
+    def test_routing_attached_only_with_topology(self, backend_name):
+        backend = get_backend(backend_name)
+        plain = backend.compile(CompileRequest(terms=TERMS))
+        assert plain.routing is None
+        routed = backend.compile(
+            CompileRequest(terms=TERMS, config=CompilerConfig(topology=LINE4))
+        )
+        metrics = routed.routing
+        assert isinstance(metrics, RoutingMetrics)
+        assert metrics.topology == "line-4"
+        assert metrics.n_swaps == 0  # steered synthesis never swaps
+        assert metrics.cnot_count > 0
+        assert metrics.two_qubit_depth <= metrics.depth
+        histogram = dict(metrics.gate_histogram)
+        assert histogram.get("CNOT", 0) == metrics.cnot_count
+
+    def test_routing_metrics_deterministic(self, backend_name):
+        backend = get_backend(backend_name)
+        request = CompileRequest(terms=TERMS, config=CompilerConfig(topology=LINE4))
+        assert backend.compile(request).routing == backend.compile(request).routing
+
+
+class TestCacheKeys:
+    def test_config_blind_backends_key_on_topology(self):
+        plain = CompileRequest(terms=TERMS)
+        routed = CompileRequest(terms=TERMS, config=CompilerConfig(topology=LINE4))
+        assert CompileCache.key(plain, "jw") != CompileCache.key(routed, "jw")
+        # ... but still share entries across pipeline-knob sweeps
+        tweaked = CompileRequest(
+            terms=TERMS, config=CompilerConfig(topology=LINE4, gamma_steps=99)
+        )
+        assert CompileCache.key(routed, "jw") == CompileCache.key(tweaked, "jw")
+
+    def test_batch_does_not_mix_topologies(self):
+        cache = CompileCache()
+        plain = CompileRequest(terms=TERMS)
+        routed = CompileRequest(terms=TERMS, config=CompilerConfig(topology=LINE4))
+        batch = compile_batch([plain, routed], backends="jw", cache=cache)
+        assert batch.cache_misses == 2
+        results = batch.results
+        assert results[0]["jw"].routing is None
+        assert results[1]["jw"].routing is not None
+        # warm rerun serves both from the cache
+        warm = compile_batch([plain, routed], backends="jw", cache=cache)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0

@@ -63,6 +63,29 @@ class TestAccounting:
         circuit = Circuit(2, [rz(0, 0.5), rz(1, -0.25)])
         assert circuit.parameters() == (0.5, -0.25)
 
+    def test_two_qubit_depth_ignores_single_qubit_gates(self):
+        circuit = Circuit(
+            3, [hadamard(0), cnot(0, 1), hadamard(1), cnot(1, 2), cnot(0, 1)]
+        )
+        # CNOT(0,1) -> CNOT(1,2) -> CNOT(0,1): a chain of dependent 2q layers.
+        assert circuit.two_qubit_depth() == 3
+        assert circuit.depth() >= circuit.two_qubit_depth()
+
+    def test_two_qubit_depth_parallel_gates_share_a_layer(self):
+        circuit = Circuit(4, [cnot(0, 1), cnot(2, 3), cnot(1, 2)])
+        assert circuit.two_qubit_depth() == 2
+
+    def test_two_qubit_depth_empty_and_single_qubit_only(self):
+        assert Circuit(3).two_qubit_depth() == 0
+        assert Circuit(3, [hadamard(0), rz(1, 0.3)]).two_qubit_depth() == 0
+
+    def test_gate_histogram(self):
+        circuit = Circuit(
+            3, [hadamard(0), cnot(0, 1), cnot(1, 2), rz(2, 0.1), Gate("SWAP", (0, 2))]
+        )
+        assert circuit.gate_histogram() == {"H": 1, "CNOT": 2, "RZ": 1, "SWAP": 1}
+        assert Circuit(2).gate_histogram() == {}
+
 
 class TestComposition:
     def test_compose(self):

@@ -1,0 +1,173 @@
+"""Steered Pauli-exponential synthesis: legality, exactness, cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import pauli_exponential_circuit, pauli_exponential_cnot_count
+from repro.hardware import (
+    Topology,
+    routed_exponential_sequence_circuit,
+    routed_pauli_exponential_circuit,
+    routed_pauli_exponential_cnot_count,
+    steiner_parent_map,
+)
+from repro.operators import PauliString
+
+TOPOLOGIES = {
+    "line": Topology.line(5),
+    "ring": Topology.ring(5),
+    "grid": Topology.grid(2, 3),
+    "all-to-all": Topology.all_to_all(5),
+}
+
+
+def rotation_unitary(string: PauliString, angle: float) -> np.ndarray:
+    dim = 2 ** string.n_qubits
+    return (
+        np.cos(angle / 2.0) * np.eye(dim, dtype=complex)
+        - 1j * np.sin(angle / 2.0) * string.to_dense()
+    )
+
+
+def embedded_reference(string: PauliString, angle: float, n_physical: int) -> np.ndarray:
+    padded = string.padded(n_physical)
+    return rotation_unitary(padded, angle)
+
+
+def non_identity_labels(n: int):
+    return st.text(alphabet="IXYZ", min_size=n, max_size=n).filter(
+        lambda s: set(s) != {"I"}
+    )
+
+
+class TestSteeredExponential:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES), ids=str)
+    @pytest.mark.parametrize("label", ["XZYXI", "ZIIIZ", "YIXIY", "XXXXX", "IZZII"])
+    def test_unitary_and_legality(self, name, label):
+        topology = TOPOLOGIES[name]
+        string = PauliString(label)
+        circuit = routed_pauli_exponential_circuit(string, 0.7, topology)
+        assert circuit.n_qubits == topology.n_qubits
+        for gate in circuit:
+            if gate.is_two_qubit:
+                assert topology.is_edge(*gate.qubits)
+        np.testing.assert_allclose(
+            circuit.to_unitary(),
+            embedded_reference(string, 0.7, topology.n_qubits),
+            atol=1e-9,
+        )
+
+    @given(label=non_identity_labels(5), angle=st.floats(-3.0, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_line_synthesis_is_exact(self, label, angle):
+        topology = TOPOLOGIES["line"]
+        string = PauliString(label)
+        circuit = routed_pauli_exponential_circuit(string, angle, topology)
+        for gate in circuit:
+            if gate.is_two_qubit:
+                assert topology.is_edge(*gate.qubits)
+        np.testing.assert_allclose(
+            circuit.to_unitary(), embedded_reference(string, angle, 5), atol=1e-9
+        )
+
+    def test_all_to_all_reduces_to_template_cost(self):
+        full = Topology.all_to_all(5)
+        for label in ["XZYXI", "ZZZZZ", "IIXYI"]:
+            string = PauliString(label)
+            assert (
+                routed_pauli_exponential_cnot_count(string, full)
+                == pauli_exponential_cnot_count(string)
+            )
+            routed = routed_pauli_exponential_circuit(string, 0.3, full)
+            template = pauli_exponential_circuit(string, 0.3)
+            assert routed.cnot_count == template.cnot_count
+
+    def test_cost_matches_synthesized_circuit(self):
+        for name, topology in TOPOLOGIES.items():
+            for label in ["XZYXI", "ZIIIZ", "YIXIY"]:
+                string = PauliString(label)
+                circuit = routed_pauli_exponential_circuit(string, 0.9, topology)
+                assert circuit.cnot_count == routed_pauli_exponential_cnot_count(
+                    string, topology
+                ), (name, label)
+
+    def test_relay_qubits_cost_two_cnots_per_hop(self):
+        # Z..Z across a 5-qubit line: three relay qubits, ladder = 1 + 2*3.
+        string = PauliString("ZIIIZ")
+        assert routed_pauli_exponential_cnot_count(string, TOPOLOGIES["line"]) == 14
+        # Same string on the ring routes the short way round (no relays... one hop via 0-4 edge).
+        assert routed_pauli_exponential_cnot_count(string, TOPOLOGIES["ring"]) == 2
+
+    def test_identity_and_weight_one(self):
+        line = TOPOLOGIES["line"]
+        assert len(routed_pauli_exponential_circuit(PauliString("IIIII"), 0.5, line)) == 0
+        single = routed_pauli_exponential_circuit(PauliString("IIZII"), 0.5, line)
+        assert single.cnot_count == 0
+        np.testing.assert_allclose(
+            single.to_unitary(), embedded_reference(PauliString("IIZII"), 0.5, 5),
+            atol=1e-9,
+        )
+
+    def test_explicit_target(self):
+        line = TOPOLOGIES["line"]
+        string = PauliString("XIZII")
+        circuit = routed_pauli_exponential_circuit(string, 0.4, line, target=0)
+        assert circuit.count("RZ") == 1
+        rz_gate = next(g for g in circuit if g.name == "RZ")
+        assert rz_gate.qubits == (0,)
+        np.testing.assert_allclose(
+            circuit.to_unitary(), embedded_reference(string, 0.4, 5), atol=1e-9
+        )
+
+    def test_too_small_topology_rejected(self):
+        with pytest.raises(ValueError, match="has 3 qubits"):
+            routed_pauli_exponential_circuit(PauliString("XXXX"), 0.1, Topology.line(3))
+
+    def test_disconnected_support_rejected(self):
+        split = Topology.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="cannot reach"):
+            routed_pauli_exponential_circuit(PauliString("XIIX"), 0.1, split)
+
+
+class TestSteinerParentMap:
+    def test_paths_union_forms_tree_toward_root(self):
+        grid = Topology.grid(2, 3)
+        parent = steiner_parent_map(grid, [0, 2, 5], root=4)
+        # every terminal walks parent pointers to the root
+        for terminal in (0, 2, 5):
+            node, hops = terminal, 0
+            while node != 4:
+                node = parent[node]
+                hops += 1
+                assert hops <= grid.n_qubits
+        # parent edges are topology edges
+        for child, up in parent.items():
+            assert grid.is_edge(child, up)
+
+    def test_root_validation(self):
+        with pytest.raises(ValueError, match="outside"):
+            steiner_parent_map(Topology.line(3), [0], root=5)
+
+
+class TestSequenceSynthesis:
+    def test_sequence_matches_rotation_product(self):
+        line = Topology.line(4)
+        sequence = [
+            (PauliString("XZYI"), 0.3, None),
+            (PauliString("IZZX"), -0.8, 3),
+            (PauliString("ZIIZ"), 0.5, None),
+        ]
+        circuit = routed_exponential_sequence_circuit(sequence, line)
+        for gate in circuit:
+            if gate.is_two_qubit:
+                assert line.is_edge(*gate.qubits)
+        reference = np.eye(2 ** 4, dtype=complex)
+        for string, angle, _ in sequence:
+            reference = rotation_unitary(string, angle) @ reference
+        np.testing.assert_allclose(circuit.to_unitary(), reference, atol=1e-9)
+
+    def test_empty_sequence(self):
+        circuit = routed_exponential_sequence_circuit([], Topology.line(3))
+        assert len(circuit) == 0 and circuit.n_qubits == 3

@@ -1,0 +1,178 @@
+"""Topology model: constructors, BFS caches, validation, hashability."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TOPOLOGY_KINDS, Topology, topology_for
+
+
+def brute_force_distances(topology: Topology) -> np.ndarray:
+    """Floyd-Warshall reference for the BFS distance matrix."""
+    n = topology.n_qubits
+    dist = np.full((n, n), np.inf)
+    np.fill_diagonal(dist, 0)
+    for a, b in topology.edges:
+        dist[a, b] = dist[b, a] = 1
+    for k in range(n):
+        dist = np.minimum(dist, dist[:, k, None] + dist[None, k, :])
+    return np.where(np.isinf(dist), -1, dist).astype(np.int64)
+
+
+class TestConstructors:
+    def test_line(self):
+        line = Topology.line(5)
+        assert line.n_qubits == 5
+        assert line.edges == ((0, 1), (1, 2), (2, 3), (3, 4))
+        assert line.distance(0, 4) == 4
+
+    def test_ring_wraps_around(self):
+        ring = Topology.ring(6)
+        assert ring.n_edges == 6
+        assert ring.distance(0, 5) == 1
+        assert ring.distance(0, 3) == 3
+
+    def test_ring_of_two_has_single_edge(self):
+        assert Topology.ring(2).edges == ((0, 1),)
+
+    def test_grid_shape_and_distances(self):
+        grid = Topology.grid(3, 4)
+        assert grid.n_qubits == 12
+        # interior qubit 5 touches 1, 4, 6, 9
+        assert grid.neighbors(5) == (1, 4, 6, 9)
+        assert grid.distance(0, 11) == 5  # manhattan distance
+
+    def test_all_to_all(self):
+        full = Topology.all_to_all(5)
+        assert full.n_edges == 10
+        off_diagonal = ~np.eye(5, dtype=bool)
+        assert np.all(full.distance_matrix[off_diagonal] == 1)
+
+    def test_heavy_hex_is_connected_with_degree_at_most_three(self):
+        for rows, cols in [(1, 1), (1, 2), (2, 2), (3, 2)]:
+            hh = Topology.heavy_hex(rows, cols)
+            assert hh.is_connected
+            assert max(hh.degree(q) for q in range(hh.n_qubits)) <= 3
+
+    def test_heavy_hex_larger_tilings_reach_degree_three(self):
+        hh = Topology.heavy_hex(2, 2)
+        assert max(hh.degree(q) for q in range(hh.n_qubits)) == 3
+
+    def test_from_edges_normalizes_duplicates_and_order(self):
+        topology = Topology.from_edges(3, [(1, 0), (0, 1), (2, 1)], name="demo")
+        assert topology.edges == ((0, 1), (1, 2))
+        assert topology.name == "demo"
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Topology.from_edges(3, [(1, 1)])
+        with pytest.raises(ValueError, match="outside"):
+            Topology.from_edges(3, [(0, 3)])
+        with pytest.raises(ValueError, match="exactly two"):
+            Topology.from_edges(3, [(0, 1, 2)])
+        with pytest.raises(ValueError, match="at least one qubit"):
+            Topology(n_qubits=0, edges=())
+        with pytest.raises(ValueError, match="positive"):
+            Topology.grid(0, 3)
+        with pytest.raises(ValueError, match="positive"):
+            Topology.heavy_hex(0, 1)
+
+
+class TestGraphQueries:
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            Topology.line(7),
+            Topology.ring(6),
+            Topology.grid(3, 3),
+            Topology.heavy_hex(1, 1),
+            Topology.all_to_all(5),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_distance_matrix_matches_floyd_warshall(self, topology):
+        np.testing.assert_array_equal(
+            topology.distance_matrix, brute_force_distances(topology)
+        )
+
+    @pytest.mark.parametrize(
+        "topology",
+        [Topology.line(6), Topology.grid(2, 4), Topology.heavy_hex(1, 1)],
+        ids=lambda t: t.name,
+    )
+    def test_shortest_paths_are_valid_and_shortest(self, topology):
+        for a in range(topology.n_qubits):
+            for b in range(topology.n_qubits):
+                path = topology.shortest_path(a, b)
+                assert path[0] == a and path[-1] == b
+                assert len(path) - 1 == topology.distance(a, b)
+                for u, v in zip(path, path[1:]):
+                    assert topology.is_edge(u, v)
+
+    def test_disconnected_topology_detected(self):
+        split = Topology.from_edges(4, [(0, 1), (2, 3)])
+        assert not split.is_connected
+        assert split.distance(0, 3) == -1
+        with pytest.raises(ValueError, match="disconnected"):
+            split.require_connected()
+        with pytest.raises(ValueError, match="disconnected"):
+            split.shortest_path(0, 2)
+
+    def test_is_edge_and_degree(self):
+        line = Topology.line(4)
+        assert line.is_edge(1, 2) and line.is_edge(2, 1)
+        assert not line.is_edge(0, 2)
+        assert not line.is_edge(1, 1)
+        assert line.degree(0) == 1 and line.degree(1) == 2
+
+    def test_qubit_validation(self):
+        line = Topology.line(3)
+        with pytest.raises(ValueError, match="outside"):
+            line.neighbors(3)
+        with pytest.raises(ValueError, match="outside"):
+            line.distance(-1, 0)
+
+    def test_distance_matrix_is_read_only(self):
+        line = Topology.line(3)
+        with pytest.raises(ValueError):
+            line.distance_matrix[0, 1] = 99
+
+
+class TestHashingAndEquality:
+    def test_equal_topologies_hash_equal(self):
+        a = Topology.line(4)
+        b = Topology.from_edges(4, [(0, 1), (1, 2), (2, 3)], name="line-4")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_edges_differ(self):
+        assert Topology.line(4) != Topology.ring(4)
+
+    def test_usable_as_dict_key(self):
+        cache = {Topology.line(4): "line", Topology.grid(2, 2): "grid"}
+        assert cache[Topology.line(4)] == "line"
+
+    def test_repr_mentions_name_and_size(self):
+        text = repr(Topology.grid(2, 3))
+        assert "grid-2x3" in text and "n_qubits=6" in text
+
+
+class TestTopologyFor:
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    @pytest.mark.parametrize("n", [1, 2, 4, 9, 12])
+    def test_covers_requested_size_and_connected(self, kind, n):
+        topology = topology_for(kind, n)
+        assert topology.n_qubits >= n
+        assert topology.is_connected
+
+    def test_exact_kinds(self):
+        assert topology_for("line", 5) == Topology.line(5)
+        assert topology_for("ring", 5) == Topology.ring(5)
+        assert topology_for("all-to-all", 5) == Topology.all_to_all(5)
+        grid = topology_for("grid", 12)
+        assert grid.n_qubits == 12  # 3x4 exactly covers 12
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            topology_for("torus", 4)
+        with pytest.raises(ValueError, match="positive"):
+            topology_for("line", 0)

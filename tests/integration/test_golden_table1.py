@@ -18,6 +18,7 @@ import pytest
 from repro.api import DEFAULT_BACKEND_NAMES, CompileRequest, CompilerConfig, compile_batch
 from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
 from repro.circuits import optimize_circuit
+from repro.hardware import route_circuit, topology_for
 from repro.vqe import hmp2_ranked_terms
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "table1_fast.json"
@@ -70,4 +71,61 @@ def test_fast_tier_numbers_are_pinned(golden, golden_config, case_name):
     assert observed == case["advanced_circuit"], (
         f"advanced circuit depth/CNOT profile moved for {case_name}: "
         f"got {observed}, golden {case['advanced_circuit']}"
+    )
+
+
+@pytest.mark.parametrize("case_name", ["H2", "HMP2-small"])
+@pytest.mark.parametrize("kind", ["line", "grid"])
+def test_routed_counts_are_pinned(golden, golden_config, case_name, kind):
+    """Routing-heuristic changes must not silently move SWAP/CNOT overheads."""
+    pinned = golden["routing"][case_name][kind]
+    case = golden["cases"][case_name]
+    scf = run_rhf(make_molecule(case["molecule"]))
+    hamiltonian = build_molecular_hamiltonian(
+        scf, n_frozen_spatial_orbitals=case["n_frozen_spatial_orbitals"]
+    )
+    terms = hmp2_ranked_terms(hamiltonian)[: case["n_terms"]]
+    topology = topology_for(kind, case["n_qubits"])
+    assert topology.name == pinned["topology"]
+
+    request = CompileRequest(
+        terms=tuple(terms),
+        n_qubits=case["n_qubits"],
+        config=golden_config.replace(topology=topology),
+    )
+    row = compile_batch([request], backends=DEFAULT_BACKEND_NAMES).results[0]
+
+    counts = {name: row[name].cnot_count for name in DEFAULT_BACKEND_NAMES}
+    assert counts == pinned["table1_cnot_counts"], (
+        f"topology-aware Table-I counts moved for {case_name}/{kind}: "
+        f"got {counts}, golden {pinned['table1_cnot_counts']}. If intentional, "
+        "rerun tools/make_golden.py and commit the new golden file."
+    )
+
+    steered = {
+        name: {
+            "cnot_count": row[name].routing.cnot_count,
+            "n_swaps": row[name].routing.n_swaps,
+            "depth": row[name].routing.depth,
+            "two_qubit_depth": row[name].routing.two_qubit_depth,
+        }
+        for name in DEFAULT_BACKEND_NAMES
+    }
+    assert steered == pinned["steered"], (
+        f"steered routing profile moved for {case_name}/{kind}: got {steered}, "
+        f"golden {pinned['steered']}"
+    )
+
+    sabre = route_circuit(
+        optimize_circuit(row["advanced"].details.fermionic_circuit(optimize=False)),
+        topology,
+        seed=golden_config.seed,
+    )
+    observed = {
+        "cnot_count": sabre.metrics().cnot_count,
+        "n_swaps": sabre.n_swaps,
+    }
+    assert observed == pinned["sabre_advanced"], (
+        f"SABRE routing profile moved for {case_name}/{kind}: got {observed}, "
+        f"golden {pinned['sabre_advanced']}"
     )
