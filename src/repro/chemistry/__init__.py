@@ -27,7 +27,17 @@ from repro.chemistry.hamiltonian import (
     mo_two_body_integrals,
     spin_orbital_integrals,
 )
-from repro.chemistry.hartree_fock import ScfResult, run_rhf
+from repro.chemistry.hartree_fock import (
+    ScfResult,
+    clear_scf_cache,
+    molecule_fingerprint,
+    run_rhf,
+)
+from repro.chemistry.integrals import (
+    clear_integral_caches,
+    set_integral_caching,
+    shell_pair_data,
+)
 from repro.chemistry.molecules import (
     GEOMETRIES,
     ammonia_geometry,
@@ -53,6 +63,11 @@ __all__ = [
     "build_sto3g_basis",
     "ScfResult",
     "run_rhf",
+    "clear_scf_cache",
+    "molecule_fingerprint",
+    "clear_integral_caches",
+    "set_integral_caching",
+    "shell_pair_data",
     "MolecularHamiltonian",
     "build_molecular_hamiltonian",
     "mo_one_body_integrals",

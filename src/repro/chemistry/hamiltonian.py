@@ -146,6 +146,7 @@ def build_molecular_hamiltonian(
     scf: ScfResult,
     n_active_spatial_orbitals: Optional[int] = None,
     n_frozen_spatial_orbitals: int = 0,
+    use_cache: bool = True,
 ) -> MolecularHamiltonian:
     """Build the spin-orbital Hamiltonian, optionally in a frozen-core active space.
 
@@ -158,7 +159,17 @@ def build_molecular_hamiltonian(
         orbital).  Defaults to all remaining orbitals.
     n_frozen_spatial_orbitals:
         Number of lowest-energy doubly occupied orbitals frozen into the core.
+    use_cache:
+        Memoize the Hamiltonian on the SCF result, keyed per active-space
+        specification, so repeated builds (benchmark sweeps over ansatz
+        sizes) skip the MO integral transformation.  Hits return the same
+        object — treat it as read-only or pass ``use_cache=False``.
     """
+    cache_key = (n_active_spatial_orbitals, int(n_frozen_spatial_orbitals))
+    if use_cache:
+        cached = scf._hamiltonian_cache.get(cache_key)
+        if cached is not None:
+            return cached
     n_spatial = scf.n_orbitals
     n_frozen = int(n_frozen_spatial_orbitals)
     if n_frozen < 0 or n_frozen > scf.n_occupied:
@@ -197,7 +208,7 @@ def build_molecular_hamiltonian(
     n_active_electrons = scf.molecule.n_electrons - 2 * n_frozen
     orbital_energies = np.repeat(scf.orbital_energies[active], 2)
 
-    return MolecularHamiltonian(
+    result = MolecularHamiltonian(
         constant=float(scf.molecule.nuclear_repulsion + core_energy),
         one_body=one_body_so,
         two_body=two_body_so,
@@ -206,3 +217,6 @@ def build_molecular_hamiltonian(
         name=scf.molecule.name,
         hartree_fock_energy=scf.energy,
     )
+    if use_cache:
+        scf._hamiltonian_cache[cache_key] = result
+    return result

@@ -9,8 +9,8 @@ damping; DIIS is unnecessary for the small closed-shell molecules of Table I.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import eigh
@@ -21,6 +21,32 @@ from repro.chemistry.integrals import (
     build_electron_repulsion_tensor,
     build_overlap_matrix,
 )
+
+
+def molecule_fingerprint(molecule: Molecule) -> Tuple:
+    """Hashable identity of a molecule (name + geometry + charge), for memo keys.
+
+    The name participates so a cache hit never hands a caller an
+    :class:`ScfResult` labeled with a *different* molecule's name (the name
+    propagates into ``MolecularHamiltonian.name`` and report rows).
+    """
+    return (
+        molecule.name,
+        molecule.charge,
+        tuple((atom.symbol, atom.position) for atom in molecule.atoms),
+    )
+
+
+#: Memoized SCF solutions keyed on (molecule fingerprint, solver settings).
+#: Bounded: each entry holds the full n^4 ERI tensor, so geometry sweeps
+#: (e.g. dissociation curves) must not accumulate results without limit.
+_SCF_CACHE: Dict[Tuple, "ScfResult"] = {}
+_SCF_CACHE_MAX_ENTRIES = 32
+
+
+def clear_scf_cache() -> None:
+    """Drop every memoized :func:`run_rhf` solution."""
+    _SCF_CACHE.clear()
 
 
 @dataclass
@@ -38,6 +64,11 @@ class ScfResult:
     electron_repulsion: np.ndarray
     n_iterations: int
     converged: bool
+    #: Per-result memo used by ``build_molecular_hamiltonian`` (keyed on the
+    #: active-space specification); not part of the solution itself.
+    _hamiltonian_cache: Dict[Tuple, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def n_orbitals(self) -> int:
@@ -70,6 +101,7 @@ def run_rhf(
     max_iterations: int = 100,
     convergence: float = 1e-8,
     damping: float = 0.0,
+    use_cache: bool = True,
 ) -> ScfResult:
     """Solve the restricted Hartree-Fock equations for a closed-shell molecule.
 
@@ -85,11 +117,26 @@ def run_rhf(
         Convergence threshold on both the energy change and the density change.
     damping:
         Optional linear mixing of consecutive density matrices in [0, 1).
+    use_cache:
+        Memoize the solution per ``(molecule geometry/charge, solver
+        settings)`` so benchmark sweeps over ansatz sizes do not re-run SCF.
+        Cache hits return the *same* :class:`ScfResult` object — treat it as
+        read-only, or pass ``use_cache=False`` (or call
+        :func:`clear_scf_cache`) for a fresh solve.  Only the default STO-3G
+        basis path is cached; an explicit ``basis`` always recomputes.
     """
     if molecule.n_electrons % 2 != 0:
         raise ValueError("restricted HF requires an even number of electrons")
     if not 0.0 <= damping < 1.0:
         raise ValueError("damping must lie in [0, 1)")
+    cache_key = None
+    if use_cache and basis is None:
+        cache_key = (
+            molecule_fingerprint(molecule), max_iterations, convergence, damping
+        )
+        cached = _SCF_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
     basis = list(basis) if basis is not None else build_sto3g_basis(molecule)
     n_occupied = molecule.n_electrons // 2
     if n_occupied > len(basis):
@@ -128,7 +175,7 @@ def run_rhf(
     electronic_energy = 0.5 * np.sum(density * (core + fock))
     energy = electronic_energy + molecule.nuclear_repulsion
 
-    return ScfResult(
+    result = ScfResult(
         molecule=molecule,
         basis=list(basis),
         energy=float(energy),
@@ -141,3 +188,8 @@ def run_rhf(
         n_iterations=iteration,
         converged=converged,
     )
+    if cache_key is not None:
+        while len(_SCF_CACHE) >= _SCF_CACHE_MAX_ENTRIES:
+            _SCF_CACHE.pop(next(iter(_SCF_CACHE)))  # FIFO eviction
+        _SCF_CACHE[cache_key] = result
+    return result

@@ -40,7 +40,13 @@ def gates_commute(first: Gate, second: Gate) -> bool:
     circuit_ba = Circuit(len(qubits))
     circuit_ba.append(_remap(second, index))
     circuit_ba.append(_remap(first, index))
-    return np.allclose(circuit_ab.to_unitary(), circuit_ba.to_unitary(), atol=1e-10)
+    # rtol must be zero: np.allclose's default relative tolerance (1e-5)
+    # declares e.g. H and RZ(1e-5) commuting — their commutator is exactly of
+    # order rtol * |entry| — and the optimizer then cancels through the
+    # rotation, changing the unitary.
+    return np.allclose(
+        circuit_ab.to_unitary(), circuit_ba.to_unitary(), rtol=0.0, atol=1e-10
+    )
 
 
 def _remap(gate: Gate, index) -> Gate:

@@ -130,7 +130,6 @@ def build_sorting_problem(
         clusters.append([(index, target) for target in support])
 
     vertices, savings = vertex_savings(rotations)
-    row_of = {vertex: row for row, vertex in enumerate(vertices)}
     if topology is None:
         matrix = -savings
     else:
@@ -143,10 +142,10 @@ def build_sorting_problem(
         )
         matrix = costs[None, :] - savings
 
-    def weight(u: SortingVertex, v: SortingVertex) -> float:
-        return float(matrix[row_of[u], row_of[v]])
-
-    return GtspProblem(clusters=clusters, weight=weight)
+    # vertex_savings enumerates vertices in cluster-flattened order, which is
+    # exactly the global row order GtspProblem expects, so the matrix plugs in
+    # directly and the GA never pays a per-edge Python call.
+    return GtspProblem(clusters=clusters, weight_matrix=matrix)
 
 
 def term_block_tour(rotations: Sequence[PauliRotation]) -> List[SortingVertex]:
@@ -262,7 +261,9 @@ def advanced_sort(
             )
         else:
             cut_scores.append(-problem.weight(u, v))
-    cut = int(np.argmin(cut_scores))
+    # Builtin min on the small Python list (np.argmin would pay an array
+    # conversion); ties resolve to the first minimum exactly as argmin did.
+    cut = min(range(n), key=cut_scores.__getitem__)
     ordered: List[Tuple[PauliRotation, int]] = []
     for step in range(n):
         _, (index, target) = solution.tour[(cut + 1 + step) % n]

@@ -322,9 +322,13 @@ def route_circuit(
                 front_cost += lookahead_weight * ahead / len(window_pairs)
             return front_cost
 
-        scores = np.array([score(edge) for edge in candidates])
-        best = np.flatnonzero(scores == scores.min())
-        choice = int(best[0]) if len(best) == 1 else int(rng.choice(best))
+        # Builtin min/list comprehension instead of np.argmin-style reductions
+        # on a small Python list (the ndarray conversion costs more than the
+        # scan); the tie set and the seeded tie-break draw are unchanged.
+        scores = [score(edge) for edge in candidates]
+        minimum = min(scores)
+        best = [i for i, value in enumerate(scores) if value == minimum]
+        choice = best[0] if len(best) == 1 else int(rng.choice(best))
         apply_swap(candidates[choice])
 
     return RoutingResult(

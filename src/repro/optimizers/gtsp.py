@@ -9,12 +9,22 @@ genetic algorithm in the style of Silberholz and Golden: ordered crossover on
 the cluster permutation, per-cluster vertex reassignment and swap mutations,
 and an exact dynamic-programming "cluster optimization" step that, for a
 fixed cluster order, picks the best vertex inside every cluster.
+
+Edge weights are served from one dense ``(n_vertices, n_vertices)`` float64
+matrix indexed by a global vertex row (clusters flattened in order).  Callers
+that already own such a matrix — the advanced sorting builds one batched
+symplectic scan — pass it as ``weight_matrix`` and skip every per-edge Python
+call; the legacy scalar ``weight(u, v)`` callable remains supported and is
+densified lazily on first use.  Every matrix kernel reproduces the scalar
+implementation bit-for-bit: candidate costs are single additions of the same
+float64 pairs, reductions take the first minimum exactly like ``np.argmin``
+on a list did, and tour costs accumulate left-to-right in tour order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,21 +45,118 @@ class GtspProblem:
     weight:
         Edge cost ``weight(u, v)`` between two vertices from *different*
         clusters.  The tour cost is the sum of consecutive edge costs around
-        the closed cycle; the solver minimizes it.
+        the closed cycle; the solver minimizes it.  Optional when
+        ``weight_matrix`` is given (a compatible shim is synthesized).
+    weight_matrix:
+        Dense edge-cost matrix indexed by global vertex rows, clusters
+        flattened in order (cluster 0's vertices first).  When omitted it is
+        built lazily from ``weight`` — once per problem, not once per query.
     """
 
     clusters: Sequence[Sequence[Vertex]]
-    weight: Callable[[Vertex, Vertex], float]
+    weight: Optional[Callable[[Vertex, Vertex], float]] = None
+    weight_matrix: Optional[np.ndarray] = None
+    _matrix: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    _matrix_rows: Optional[List[List[float]]] = field(
+        default=None, init=False, repr=False
+    )
+    _cluster_rows: List[List[int]] = field(default_factory=list, init=False, repr=False)
+    _row_in_cluster: List[Dict[Vertex, int]] = field(
+        default_factory=list, init=False, repr=False
+    )
+    _blocks: Dict[Tuple[int, int], np.ndarray] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     def __post_init__(self):
         if not self.clusters:
             raise ValueError("GTSP instance needs at least one cluster")
         if any(len(cluster) == 0 for cluster in self.clusters):
             raise ValueError("every cluster must contain at least one vertex")
+        if self.weight is None and self.weight_matrix is None:
+            raise ValueError("provide a weight callable or a weight_matrix")
+
+        self._vertices: List[Vertex] = []
+        self._cluster_rows = []
+        self._row_in_cluster = []
+        row = 0
+        for cluster in self.clusters:
+            self._cluster_rows.append(list(range(row, row + len(cluster))))
+            self._row_in_cluster.append(
+                {vertex: row + position for position, vertex in enumerate(cluster)}
+            )
+            self._vertices.extend(cluster)
+            row += len(cluster)
+
+        if self.weight_matrix is not None:
+            # Copy on ingest: the row-list/block caches snapshot the matrix,
+            # so aliasing the caller's array would let later in-place
+            # mutation desynchronize them.
+            matrix = np.array(self.weight_matrix, dtype=np.float64)
+            if matrix.shape != (row, row):
+                raise ValueError(
+                    f"weight_matrix must be ({row}, {row}) for {row} vertices, "
+                    f"got {matrix.shape}"
+                )
+            self._matrix = matrix
+            if self.weight is None:
+                self.weight = self._matrix_weight
 
     @property
     def n_clusters(self) -> int:
         return len(self.clusters)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self._vertices)
+
+    def _matrix_weight(self, u: Vertex, v: Vertex) -> float:
+        """Scalar compatibility shim over the dense matrix."""
+        return float(self.matrix[self._row_of(u), self._row_of(v)])
+
+    def _row_of(self, vertex: Vertex) -> int:
+        for mapping in self._row_in_cluster:
+            row = mapping.get(vertex)
+            if row is not None:
+                return row
+        raise KeyError(f"vertex {vertex!r} is not part of this problem")
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense float64 weight matrix (built from ``weight`` on first use)."""
+        if self._matrix is None:
+            n = self.n_vertices
+            matrix = np.empty((n, n), dtype=np.float64)
+            weight = self.weight
+            for i, u in enumerate(self._vertices):
+                row = matrix[i]
+                for j, v in enumerate(self._vertices):
+                    row[j] = float(weight(u, v))
+            self._matrix = matrix
+        return self._matrix
+
+    @property
+    def _row_lists(self) -> List[List[float]]:
+        """The weight matrix as nested Python lists (fast small-tour gathers)."""
+        if self._matrix_rows is None:
+            self._matrix_rows = self.matrix.tolist()
+        return self._matrix_rows
+
+    def _block(self, cluster_a: int, cluster_b: int) -> np.ndarray:
+        """Contiguous weight submatrix between two clusters, cached per pair.
+
+        The DP touches the same cluster-pair blocks thousands of times per
+        solve; one ``np.ix_`` extraction per pair (instead of per query)
+        keeps the vectorized reductions allocation-light.
+        """
+        key = (cluster_a, cluster_b)
+        block = self._blocks.get(key)
+        if block is None:
+            block = self.matrix[
+                np.ix_(self._cluster_rows[cluster_a], self._cluster_rows[cluster_b])
+            ]
+            self._blocks[key] = block
+        return block
 
     def tour_cost(self, tour: Sequence[Tuple[int, Vertex]]) -> float:
         """Cost of the closed tour (single-cluster tours cost zero)."""
@@ -59,9 +166,42 @@ class GtspProblem:
             raise ValueError("tour must visit every cluster exactly once")
         if len(tour) <= 1:
             return 0.0
+        rows = self._tour_rows(tour)
+        if rows is not None:
+            return self._rows_cost(rows)
+        # Vertices outside their declared cluster: legacy scalar fallback.
         cost = 0.0
         for (_, u), (_, v) in zip(tour, list(tour[1:]) + [tour[0]]):
             cost += float(self.weight(u, v))
+        return cost
+
+    def _tour_rows(self, tour: Sequence[Tuple[int, Vertex]]) -> Optional[List[int]]:
+        """Global rows of a ``(cluster, vertex)`` tour, or None on foreign vertices."""
+        rows: List[int] = []
+        for cluster, vertex in tour:
+            row = self._row_in_cluster[cluster].get(vertex)
+            if row is None:
+                return None
+            rows.append(row)
+        return rows
+
+    def _rows_cost(self, rows: Sequence[int]) -> float:
+        """Closed-cycle cost of a tour given as global vertex rows.
+
+        Row-indexed gathers from the densified matrix instead of one
+        ``weight`` call per edge; the edge costs are accumulated
+        left-to-right in tour order, so the result is bit-identical to the
+        scalar loop.
+        """
+        if len(rows) <= 1:
+            return 0.0
+        row_lists = self._row_lists
+        cost = 0.0
+        previous = rows[0]
+        for current in rows[1:]:
+            cost += row_lists[previous][current]
+            previous = current
+        cost += row_lists[previous][rows[0]]
         return cost
 
 
@@ -88,6 +228,16 @@ class _Chromosome:
             (cluster, problem.clusters[cluster][self.choices[cluster]])
             for cluster in self.order
         )
+
+    def rows(self, problem: GtspProblem) -> List[int]:
+        """Global vertex rows of this chromosome's tour, in tour order."""
+        cluster_rows = problem._cluster_rows
+        choices = self.choices
+        return [cluster_rows[c][choices[c]] for c in self.order]
+
+    def cost(self, problem: GtspProblem) -> float:
+        """Closed-tour cost via the dense matrix (no per-edge ``weight`` calls)."""
+        return problem._rows_cost(self.rows(problem))
 
 
 def _random_chromosome(problem: GtspProblem, rng: np.random.Generator) -> _Chromosome:
@@ -138,52 +288,46 @@ def _cluster_optimization(
 ) -> None:
     """Exact DP choosing the best vertex per cluster for the fixed cluster order.
 
-    For each candidate start vertex in the first cluster of the order, a
+    For every candidate start vertex in the first cluster of the order, a
     forward dynamic program computes the cheapest path through the remaining
     clusters and closes the cycle; the overall best assignment is written back
-    into the chromosome.
+    into the chromosome.  All starts advance through one chained
+    ``costs[:, :, None] + W[np.ix_(...)]`` reduction per layer; each candidate
+    cost is a single addition of the same float64 pair the scalar
+    implementation added, and every ``argmin`` takes the first minimum, so the
+    chosen assignment is bit-identical to the historical per-edge version.
     """
     order = chromosome.order
     m = len(order)
     if m == 1:
         return
-    clusters = [list(problem.clusters[c]) for c in order]
-    weight = problem.weight
+    block = problem._block
+    first = order[0]
 
-    best_total = None
-    best_assignment: Optional[List[int]] = None
-    for start_index, start_vertex in enumerate(clusters[0]):
-        # costs[i] = best cost reaching vertex i of the current cluster.
-        costs = [float(weight(start_vertex, v)) for v in clusters[1]]
-        parents: List[List[int]] = [[0] * len(clusters[1])]
-        for layer in range(2, m):
-            new_costs = []
-            new_parents = []
-            for v in clusters[layer]:
-                candidate_costs = [
-                    costs[k] + float(weight(u, v)) for k, u in enumerate(clusters[layer - 1])
-                ]
-                best_k = int(np.argmin(candidate_costs))
-                new_costs.append(candidate_costs[best_k])
-                new_parents.append(best_k)
-            costs = new_costs
-            parents.append(new_parents)
-        closing = [costs[k] + float(weight(u, start_vertex)) for k, u in enumerate(clusters[-1])]
-        best_k = int(np.argmin(closing))
-        total = closing[best_k]
-        if best_total is None or total < best_total:
-            best_total = total
-            assignment = [0] * m
-            assignment[0] = start_index
-            k = best_k
-            for layer in range(m - 1, 0, -1):
-                assignment[layer] = k
-                k = parents[layer - 1][k]
-            best_assignment = assignment
+    # costs[s, k]: best cost from start vertex s to vertex k of the current layer.
+    costs = block(first, order[1])
+    parents: List[np.ndarray] = [np.zeros(costs.shape, dtype=np.int64)]
+    for layer in range(2, m):
+        step = block(order[layer - 1], order[layer])
+        candidates = costs[:, :, None] + step[None, :, :]
+        # np.min yields the value at np.argmin's (first-minimum) index, so the
+        # two reductions stay mutually consistent and match the scalar DP.
+        parents.append(np.argmin(candidates, axis=1))
+        costs = np.min(candidates, axis=1)
+    closing = costs + block(order[-1], first).T
+    best_last = np.argmin(closing, axis=1)
+    totals = np.min(closing, axis=1)
 
-    if best_assignment is not None:
-        for layer, cluster in enumerate(order):
-            chromosome.choices[cluster] = best_assignment[layer]
+    start_index = int(np.argmin(totals))
+    assignment = [0] * m
+    assignment[0] = start_index
+    k = int(best_last[start_index])
+    for layer in range(m - 1, 0, -1):
+        assignment[layer] = k
+        k = int(parents[layer - 1][start_index, k])
+
+    for layer, cluster in enumerate(order):
+        chromosome.choices[cluster] = assignment[layer]
 
 
 def _chromosome_from_tour(
@@ -219,13 +363,17 @@ def solve_gtsp(
     (e.g. the greedy nearest-neighbour construction), so the search never
     finishes worse than its best seed.  The random part of the population
     draws the same generator stream with or without seeds.
+
+    Costs are evaluated incrementally: every chromosome's cost is computed
+    exactly once when it is created or re-optimized and carried alongside it,
+    instead of re-deriving the whole population's costs each generation.  The
+    carried values equal a full re-evaluation bit-for-bit (the cost function
+    is deterministic), so selection — and hence the returned tour — is
+    unchanged for any seed.
     """
     rng = rng or np.random.default_rng()
     if population_size < 2:
         raise ValueError("population_size must be at least 2")
-
-    def cost_of(chromosome: _Chromosome) -> float:
-        return problem.tour_cost(chromosome.tour(problem))
 
     population = [_random_chromosome(problem, rng) for _ in range(population_size)]
     if initial_tours:
@@ -233,18 +381,20 @@ def solve_gtsp(
         population[: len(seeds)] = seeds[:population_size]
     for chromosome in population:
         _cluster_optimization(chromosome, problem)
-    costs = [cost_of(c) for c in population]
+    costs = [chromosome.cost(problem) for chromosome in population]
 
     n_elite = max(1, int(elite_fraction * population_size))
-    best_index = int(np.argmin(costs))
+    best_index = min(range(population_size), key=costs.__getitem__)
     best_chromosome, best_cost = population[best_index], costs[best_index]
 
     for generation in range(generations):
-        ranked = sorted(range(population_size), key=lambda i: costs[i])
+        ranked = sorted(range(population_size), key=costs.__getitem__)
         elites = [population[i] for i in ranked[:n_elite]]
+        elite_costs = [costs[i] for i in ranked[:n_elite]]
         next_population: List[_Chromosome] = [
             _Chromosome(list(c.order), list(c.choices)) for c in elites
         ]
+        next_costs: List[float] = list(elite_costs)
         while len(next_population) < population_size:
             # Tournament selection of two parents.
             contenders = rng.choice(population_size, size=min(4, population_size), replace=False)
@@ -254,9 +404,10 @@ def solve_gtsp(
             if rng.random() < cluster_optimization_rate:
                 _cluster_optimization(child, problem)
             next_population.append(child)
+            next_costs.append(child.cost(problem))
         population = next_population
-        costs = [cost_of(c) for c in population]
-        generation_best = int(np.argmin(costs))
+        costs = next_costs
+        generation_best = min(range(population_size), key=costs.__getitem__)
         if costs[generation_best] < best_cost:
             best_chromosome = population[generation_best]
             best_cost = costs[generation_best]
@@ -264,7 +415,7 @@ def solve_gtsp(
     # Final polish on the best individual.
     best_chromosome = _Chromosome(list(best_chromosome.order), list(best_chromosome.choices))
     _cluster_optimization(best_chromosome, problem)
-    final_cost = cost_of(best_chromosome)
+    final_cost = best_chromosome.cost(problem)
     if final_cost < best_cost:
         best_cost = final_cost
     return GtspResult(

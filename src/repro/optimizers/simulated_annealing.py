@@ -28,7 +28,12 @@ class AnnealingSchedule:
     initial_temperature:
         Temperature at the first step (in units of the energy function).
     final_temperature:
-        Temperature at the last step; must be positive.
+        Temperature at the last step; must be non-negative.  Note that under
+        the geometric interpolation a final temperature of exactly zero makes
+        *every step after the first* run at temperature zero (``0 ** fraction
+        == 0`` for any positive fraction), i.e. the whole walk becomes greedy
+        descent accepting only improving moves.  Use a small positive final
+        temperature for a schedule that anneals and merely *ends* cold.
     n_steps:
         Total number of proposed moves.
     """
@@ -38,8 +43,11 @@ class AnnealingSchedule:
     n_steps: int = 2000
 
     def __post_init__(self):
-        if self.initial_temperature <= 0 or self.final_temperature <= 0:
-            raise ValueError("temperatures must be positive")
+        if self.initial_temperature <= 0 or self.final_temperature < 0:
+            raise ValueError(
+                "initial temperature must be positive and the final "
+                "temperature non-negative"
+            )
         if self.final_temperature > self.initial_temperature:
             raise ValueError("final temperature must not exceed the initial temperature")
         if self.n_steps < 1:
@@ -76,6 +84,7 @@ def simulated_annealing(
     schedule: Optional[AnnealingSchedule] = None,
     rng: Optional[np.random.Generator] = None,
     record_trace: bool = False,
+    delta_energy: Optional[Callable[[State, State], float]] = None,
 ) -> AnnealingResult[State]:
     """Minimize ``energy`` over a discrete space with Metropolis-Hastings moves.
 
@@ -91,10 +100,19 @@ def simulated_annealing(
         must not mutate its argument).
     schedule:
         Cooling schedule; defaults to :class:`AnnealingSchedule` defaults.
+        A non-positive temperature (reachable with ``final_temperature=0``)
+        degrades gracefully to greedy descent — only improving moves are
+        accepted, no division by the temperature is attempted.
     rng:
         Random generator; defaults to a fresh unseeded generator.
     record_trace:
         If True, the energy after every step is recorded (useful for plots).
+    delta_energy:
+        Optional incremental evaluator ``delta_energy(current, candidate)``
+        returning ``energy(candidate) - energy(current)`` without the full
+        re-evaluation (e.g. the two changed tour edges of a swap move).  The
+        walk then never calls ``energy`` after the initial state; the caller
+        is responsible for the delta matching the full difference.
     """
     schedule = schedule or AnnealingSchedule()
     rng = rng or np.random.default_rng()
@@ -108,9 +126,21 @@ def simulated_annealing(
     for step in range(schedule.n_steps):
         temperature = schedule.temperature(step)
         candidate = neighbor(current_state, rng)
-        candidate_energy = float(energy(candidate))
-        delta = candidate_energy - current_energy
-        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+        if delta_energy is not None:
+            delta = float(delta_energy(current_state, candidate))
+            candidate_energy = current_energy + delta
+        else:
+            candidate_energy = float(energy(candidate))
+            delta = candidate_energy - current_energy
+        if delta <= 0:
+            accept = True
+        elif temperature <= 0.0:
+            # Frozen schedule: accept only improving moves instead of
+            # dividing by zero (or overflowing exp) below.
+            accept = False
+        else:
+            accept = rng.random() < math.exp(-delta / temperature)
+        if accept:
             current_state, current_energy = candidate, candidate_energy
             n_accepted += 1
             if current_energy < best_energy:

@@ -1,0 +1,118 @@
+"""Frozen-schedule guard and incremental-delta tests for simulated annealing."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import AnnealingSchedule, simulated_annealing
+
+
+class _FrozenSchedule:
+    """Duck-typed schedule stuck at a fixed (possibly zero) temperature."""
+
+    def __init__(self, temperature, n_steps):
+        self._temperature = temperature
+        self.n_steps = n_steps
+
+    def temperature(self, step):
+        return self._temperature
+
+
+def quadratic_energy(x):
+    return (x - 7) ** 2
+
+
+def random_step(x, rng):
+    return x + int(rng.integers(-2, 3))
+
+
+class TestZeroTemperature:
+    def test_zero_final_temperature_is_valid(self):
+        schedule = AnnealingSchedule(final_temperature=0.0, n_steps=10)
+        assert schedule.temperature(9) == 0.0
+        assert schedule.temperature(0) == schedule.initial_temperature
+
+    def test_negative_temperatures_still_rejected(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(final_temperature=-1e-6)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(initial_temperature=0.0)
+
+    def test_zero_temperature_does_not_divide_by_zero(self):
+        result = simulated_annealing(
+            0,
+            quadratic_energy,
+            random_step,
+            schedule=_FrozenSchedule(0.0, 200),
+            rng=np.random.default_rng(0),
+            record_trace=True,
+        )
+        assert result.n_steps == 200
+
+    def test_zero_temperature_accepts_only_improving_moves(self):
+        result = simulated_annealing(
+            0,
+            quadratic_energy,
+            random_step,
+            schedule=_FrozenSchedule(0.0, 300),
+            rng=np.random.default_rng(1),
+            record_trace=True,
+        )
+        # Greedy descent: the walk's energy never increases at T = 0.
+        trace = [quadratic_energy(0)] + result.energy_trace
+        assert all(b <= a for a, b in zip(trace, trace[1:]))
+        assert result.best_energy == min(trace)
+
+    def test_schedule_reaching_zero_converges_greedily(self):
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0, final_temperature=0.0, n_steps=500
+        )
+        result = simulated_annealing(
+            0, quadratic_energy, random_step, schedule=schedule,
+            rng=np.random.default_rng(2),
+        )
+        assert result.best_state == 7
+        assert result.best_energy == 0
+
+
+class TestDeltaEnergy:
+    def test_delta_energy_matches_full_reevaluation(self):
+        schedule = AnnealingSchedule(n_steps=400)
+        full = simulated_annealing(
+            0, quadratic_energy, random_step, schedule=schedule,
+            rng=np.random.default_rng(3), record_trace=True,
+        )
+        incremental = simulated_annealing(
+            0,
+            quadratic_energy,
+            random_step,
+            schedule=schedule,
+            rng=np.random.default_rng(3),
+            record_trace=True,
+            delta_energy=lambda current, candidate: (
+                quadratic_energy(candidate) - quadratic_energy(current)
+            ),
+        )
+        assert incremental.best_state == full.best_state
+        assert incremental.best_energy == full.best_energy
+        assert incremental.n_accepted == full.n_accepted
+        assert incremental.energy_trace == full.energy_trace
+
+    def test_delta_energy_skips_full_energy_calls(self):
+        calls = {"energy": 0}
+
+        def counting_energy(x):
+            calls["energy"] += 1
+            return quadratic_energy(x)
+
+        simulated_annealing(
+            0,
+            counting_energy,
+            random_step,
+            schedule=AnnealingSchedule(n_steps=50),
+            rng=np.random.default_rng(4),
+            delta_energy=lambda current, candidate: (
+                quadratic_energy(candidate) - quadratic_energy(current)
+            ),
+        )
+        # Only the initial state is evaluated in full.
+        assert calls["energy"] == 1

@@ -1,0 +1,96 @@
+"""cProfile wrapper for the compile path: top-N hotspots for a molecule/backend.
+
+Future perf work should start from the same measurement this repo's perf PRs
+did.  Runs ``compile_molecule_ansatz`` (all four Table-I backends) or a single
+backend under ``cProfile`` and prints the top cumulative (or total-time)
+hotspots, cold by default (the SCF/integral caches are cleared first, so the
+profile covers the chemistry front-end too).
+
+Usage:
+    PYTHONPATH=src python tools/profile_compile.py LiH --n-terms 12
+    PYTHONPATH=src python tools/profile_compile.py H2 --backend advanced --top 15
+    PYTHONPATH=src python tools/profile_compile.py LiH --sort tottime --warm
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("molecule", help="molecule name (H2, LiH, BeH2, H2O, NH3, HF)")
+    parser.add_argument("--n-terms", type=int, default=12, help="ansatz terms to select")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="profile one backend (jw/bk/baseline/advanced) instead of all four",
+    )
+    parser.add_argument("--top", type=int, default=20, help="hotspots to print")
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key",
+    )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="keep the SCF/integral caches warm instead of clearing them first",
+    )
+    args = parser.parse_args()
+
+    from repro import compile_molecule_ansatz
+    from repro.chemistry import clear_integral_caches, clear_scf_cache
+
+    if not args.warm:
+        clear_scf_cache()
+        clear_integral_caches()
+
+    if args.backend is None:
+        def job():
+            return compile_molecule_ansatz(args.molecule, n_terms=args.n_terms)
+    else:
+        from repro.api import CompileRequest, CompilerConfig, get_backend
+        from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
+        from repro.vqe import select_ansatz_terms
+
+        backend = get_backend(args.backend)
+        molecule = make_molecule(args.molecule)
+        frozen = 1 if args.molecule != "H2" else 0
+        scf = run_rhf(molecule)
+        hamiltonian = build_molecular_hamiltonian(scf, n_frozen_spatial_orbitals=frozen)
+        terms = select_ansatz_terms(hamiltonian, args.n_terms)
+        request = CompileRequest(
+            terms=tuple(terms),
+            n_qubits=hamiltonian.n_spin_orbitals,
+            config=CompilerConfig(seed=0),
+        )
+        if not args.warm:
+            clear_scf_cache()
+            clear_integral_caches()
+
+        def job():
+            return backend.compile(request)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    job()
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    label = args.backend if args.backend is not None else "all backends"
+    print(
+        f"compile {args.molecule} n_terms={args.n_terms} ({label}, "
+        f"{'warm' if args.warm else 'cold'}): {elapsed:.3f}s\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+
+if __name__ == "__main__":
+    main()
