@@ -11,6 +11,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -84,6 +85,27 @@ _PARAMETRIZED_MATRICES = {
 
 #: Inverse names for parameter-free non-self-inverse gates.
 _INVERSE_NAMES = {"S": "SDG", "SDG": "S", "T": "TDG", "TDG": "T", "SQRTX": "SQRTXDG", "SQRTXDG": "SQRTX"}
+
+# Constant gate matrices are shared module-level arrays, frozen so a caller
+# mutating what it (reasonably) assumes is a private copy fails loudly
+# instead of corrupting every later Gate.matrix() call.
+for _matrix in _FIXED_SINGLE_QUBIT_MATRICES.values():
+    _matrix.setflags(write=False)
+for _matrix in _FIXED_TWO_QUBIT_MATRICES.values():
+    _matrix.setflags(write=False)
+del _matrix
+
+
+@lru_cache(maxsize=1024)
+def _parametrized_matrix(name: str, parameter: float) -> np.ndarray:
+    """Memoized matrix of a rotation gate, keyed on ``(name, parameter)``.
+
+    Compilation reuses a handful of angles (±π/2, Trotter steps) across
+    thousands of gates; the LRU turns each repeat into a dict hit.
+    """
+    matrix = _PARAMETRIZED_MATRICES[name](parameter)
+    matrix.setflags(write=False)
+    return matrix
 
 
 @dataclass(frozen=True)
@@ -171,12 +193,17 @@ class Gate:
     # Matrices and inverses
     # ------------------------------------------------------------------
     def matrix(self) -> np.ndarray:
-        """Dense matrix of the gate on its own qubits (2x2 or 4x4)."""
+        """Dense matrix of the gate on its own qubits (2x2 or 4x4).
+
+        The returned array is a shared, read-only cached instance (module
+        constant for parameter-free gates, LRU entry keyed on
+        ``(name, parameter)`` for rotations); ``.copy()`` it before writing.
+        """
         if self.name in _PARAMETRIZED_MATRICES:
-            return _PARAMETRIZED_MATRICES[self.name](self.parameter)
+            return _parametrized_matrix(self.name, float(self.parameter))
         if self.name in _FIXED_SINGLE_QUBIT_MATRICES:
-            return _FIXED_SINGLE_QUBIT_MATRICES[self.name].copy()
-        return _FIXED_TWO_QUBIT_MATRICES[self.name].copy()
+            return _FIXED_SINGLE_QUBIT_MATRICES[self.name]
+        return _FIXED_TWO_QUBIT_MATRICES[self.name]
 
     def inverse(self) -> "Gate":
         """Return the inverse gate."""

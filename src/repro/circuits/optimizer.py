@@ -13,6 +13,7 @@ The pass never increases the CNOT count and terminates at a fixed point.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -28,18 +29,26 @@ DEFAULT_WINDOW = 64
 
 
 def gates_commute(first: Gate, second: Gate) -> bool:
-    """Exact commutation check on the joint unitary of the two gates."""
+    """Exact commutation check on the joint unitary of the two gates.
+
+    The verdict only depends on the gate names, parameters and the *relative*
+    qubit pattern, so the pair is remapped onto a canonical 1-3 qubit register
+    and the result memoized — the optimizer re-asks the same questions
+    thousands of times while commuting gates through a window.
+    """
     shared = set(first.qubits) & set(second.qubits)
     if not shared:
         return True
     qubits = sorted(set(first.qubits) | set(second.qubits))
     index = {q: i for i, q in enumerate(qubits)}
-    circuit_ab = Circuit(len(qubits))
-    circuit_ab.append(_remap(first, index))
-    circuit_ab.append(_remap(second, index))
-    circuit_ba = Circuit(len(qubits))
-    circuit_ba.append(_remap(second, index))
-    circuit_ba.append(_remap(first, index))
+    return _commute_canonical(_remap(first, index), _remap(second, index))
+
+
+@lru_cache(maxsize=1 << 16)
+def _commute_canonical(first: Gate, second: Gate) -> bool:
+    n_qubits = 1 + max(max(first.qubits), max(second.qubits))
+    circuit_ab = Circuit(n_qubits, [first, second])
+    circuit_ba = Circuit(n_qubits, [second, first])
     # rtol must be zero: np.allclose's default relative tolerance (1e-5)
     # declares e.g. H and RZ(1e-5) commuting — their commutator is exactly of
     # order rtol * |entry| — and the optimizer then cancels through the

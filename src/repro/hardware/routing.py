@@ -81,6 +81,16 @@ class RoutingResult:
     final_layout: Tuple[int, ...]
     n_swaps: int
 
+    @property
+    def initial_inverse_layout(self) -> Tuple[int, ...]:
+        """Physical-to-logical map before the circuit runs (``-1``: unoccupied)."""
+        return _inverse_layout(self.initial_layout, self.topology.n_qubits)
+
+    @property
+    def final_inverse_layout(self) -> Tuple[int, ...]:
+        """Physical-to-logical map after the circuit runs (``-1``: unoccupied)."""
+        return _inverse_layout(self.final_layout, self.topology.n_qubits)
+
     def decomposed(self) -> Circuit:
         """The routed circuit with SWAPs expanded into CNOT triples."""
         return decompose_swaps(self.circuit)
@@ -127,6 +137,14 @@ class RoutingResult:
             if displaced is not None:
                 position[displaced] = current
         return undo
+
+
+def _inverse_layout(layout: Sequence[int], n_physical: int) -> Tuple[int, ...]:
+    """Invert a logical-to-physical layout; unoccupied physicals map to ``-1``."""
+    inverse = [-1] * n_physical
+    for logical, physical in enumerate(layout):
+        inverse[physical] = logical
+    return tuple(inverse)
 
 
 def _resolve_layout(
@@ -192,6 +210,10 @@ def route_circuit(
     topology.require_connected()
     layout = _resolve_layout(n_logical, n_physical, initial_layout)
     initial = tuple(layout)
+    # Inverse layout (physical -> logical, -1 when unoccupied), maintained
+    # alongside `layout` so applying a SWAP is O(1) instead of two O(n)
+    # scans over the full layout.
+    inverse = list(_inverse_layout(layout, n_physical))
     rng = np.random.default_rng(0 if seed is None else seed)
     distance = topology.distance_matrix
     if max_stall is None:
@@ -229,29 +251,40 @@ def route_circuit(
             if indegree[successor] == 0:
                 ready.append(successor)
 
+    # Static order of two-qubit gates plus a monotone cursor past the
+    # executed prefix, so collecting the lookahead window no longer rescans
+    # every gate of the circuit per inserted SWAP.
+    two_qubit_order = [i for i, gate in enumerate(gates) if gate.is_two_qubit]
+    two_qubit_cursor = 0
+
     def lookahead_window() -> List[int]:
+        nonlocal two_qubit_cursor
+        while (
+            two_qubit_cursor < len(two_qubit_order)
+            and indegree[two_qubit_order[two_qubit_cursor]] < 0
+        ):
+            two_qubit_cursor += 1
         window = []
         blocked = set(ready)
-        for index in range(n_gates):
+        for position in range(two_qubit_cursor, len(two_qubit_order)):
+            index = two_qubit_order[position]
             if indegree[index] < 0 or index in blocked:
                 continue
-            gate = gates[index]
-            if gate.is_two_qubit:
-                window.append(index)
-                if len(window) >= lookahead:
-                    break
+            window.append(index)
+            if len(window) >= lookahead:
+                break
         return window
 
     def apply_swap(edge: Tuple[int, int]) -> None:
         nonlocal n_swaps, stall, last_swap
         a, b = edge
         routed.append(Gate("SWAP", (a, b)))
-        on_a = [q for q, p in enumerate(layout) if p == a]
-        on_b = [q for q, p in enumerate(layout) if p == b]
-        for q in on_a:
-            layout[q] = b
-        for q in on_b:
-            layout[q] = a
+        logical_a, logical_b = inverse[a], inverse[b]
+        if logical_a >= 0:
+            layout[logical_a] = b
+        if logical_b >= 0:
+            layout[logical_b] = a
+        inverse[a], inverse[b] = logical_b, logical_a
         n_swaps += 1
         stall += 1
         last_swap = edge

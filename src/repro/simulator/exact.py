@@ -57,9 +57,9 @@ def ground_state(
     if n_particles is not None:
         if n_qubits is None:
             n_qubits = int(np.log2(dim))
-        occupations = np.array(
-            [bin(index).count("1") for index in range(dim)], dtype=int
-        )
+        # Vectorized popcount over all basis indices (the pure-Python
+        # bin().count() loop was O(2**n) interpreter work per call).
+        occupations = np.bitwise_count(np.arange(dim, dtype=np.uint64))
         sector = np.where(occupations == n_particles)[0]
         if sector.size == 0:
             raise ValueError(f"no basis states with {n_particles} particles")

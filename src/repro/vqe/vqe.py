@@ -49,6 +49,12 @@ class UccAnsatz:
         self._generators: List[sparse.csr_matrix] = [
             self._build_generator(term) for term in self.terms
         ]
+        # Reference determinant and a reusable work buffer: the optimizer
+        # calls prepare_state once per energy evaluation, so the reference is
+        # built once and copied into one preallocated array instead of
+        # allocating a fresh 2**n vector every iteration.
+        self._reference: Optional[np.ndarray] = None
+        self._state_buffer: Optional[np.ndarray] = None
 
     def _build_generator(self, term: ExcitationTerm) -> sparse.csr_matrix:
         if term.max_spin_orbital() >= self.n_qubits:
@@ -77,12 +83,20 @@ class UccAnsatz:
             raise ValueError(
                 f"expected {self.n_parameters} parameters, got {parameters.size}"
             )
-        state = self.reference_state()
+        if self._reference is None:
+            self._reference = self.reference_state()
+            self._state_buffer = np.empty_like(self._reference)
+        state = self._state_buffer
+        np.copyto(state, self._reference)
+        applied = False
         for parameter, generator in zip(parameters, self._generators):
             if abs(parameter) < 1e-14:
                 continue
             state = apply_exponential(generator, state, scale=float(parameter))
-        return state
+            applied = True
+        # Every applied exponential returns a fresh array; only the untouched
+        # reference path must be copied out of the shared buffer.
+        return state if applied else state.copy()
 
     def energy(self, parameters: Sequence[float], hamiltonian_sparse: sparse.spmatrix) -> float:
         """Energy expectation of the prepared state."""

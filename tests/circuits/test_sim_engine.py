@@ -1,0 +1,274 @@
+"""Differential tests: tensor-contraction engine vs the retained seed engine.
+
+The seed simulated circuits by embedding every gate into a dense
+``2**n x 2**n`` matrix with pure-Python bit loops and composing by matmul.
+That implementation is retained below verbatim as the reference; the
+hypothesis suite proves the fused tensordot engine matches it on random
+circuits (1-6 qubits, single/two-qubit gates, rotations, empty circuits).
+
+Also covers the memoized ``Circuit`` metrics (values stay correct across
+``append``/``extend``/slicing/``compose``) and the cached gate matrices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, Gate, cnot, hadamard, rz
+from repro.circuits.circuit import _fused_operations
+
+SINGLE_QUBIT_NAMES = ["I", "X", "Y", "Z", "H", "S", "SDG", "T", "TDG", "SQRTX", "SQRTXDG"]
+TWO_QUBIT_NAMES = ["CNOT", "CZ", "SWAP"]
+ROTATION_NAMES = ["RZ", "RX", "RY"]
+
+#: Gate names whose matrix entries lie in {0, ±1, ±i}; products of such
+#: matrices stay exact in floating point, so both engines agree bit-for-bit.
+EXACT_NAMES = ["X", "Y", "Z", "S", "SDG", "CNOT", "CZ", "SWAP"]
+
+
+# ----------------------------------------------------------------------
+# Retained copy of the seed engine (the pre-tensor Circuit._embed path).
+# ----------------------------------------------------------------------
+def legacy_embed(n_qubits: int, gate: Gate) -> np.ndarray:
+    dim = 2 ** n_qubits
+    small = gate.matrix()
+    k = len(gate.qubits)
+    embedded = np.zeros((dim, dim), dtype=complex)
+    for basis in range(dim):
+        bits = [(basis >> (n_qubits - 1 - q)) & 1 for q in range(n_qubits)]
+        col_sub = 0
+        for q in gate.qubits:
+            col_sub = (col_sub << 1) | bits[q]
+        for row_sub in range(2 ** k):
+            amplitude = small[row_sub, col_sub]
+            if amplitude == 0:
+                continue
+            new_bits = list(bits)
+            for position, q in enumerate(gate.qubits):
+                new_bits[q] = (row_sub >> (k - 1 - position)) & 1
+            row = 0
+            for q in range(n_qubits):
+                row = (row << 1) | new_bits[q]
+            embedded[row, basis] += amplitude
+    return embedded
+
+
+def legacy_to_unitary(circuit: Circuit) -> np.ndarray:
+    dim = 2 ** circuit.n_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for gate in circuit:
+        unitary = legacy_embed(circuit.n_qubits, gate) @ unitary
+    return unitary
+
+
+def random_circuit(n_qubits: int, n_gates: int, seed: int) -> Circuit:
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(n_qubits)
+    for _ in range(n_gates):
+        draw = rng.random()
+        if draw < 0.4:
+            name = SINGLE_QUBIT_NAMES[int(rng.integers(len(SINGLE_QUBIT_NAMES)))]
+            circuit.append(Gate(name, (int(rng.integers(n_qubits)),)))
+        elif draw < 0.75 and n_qubits >= 2:
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            name = TWO_QUBIT_NAMES[int(rng.integers(len(TWO_QUBIT_NAMES)))]
+            circuit.append(Gate(name, (int(a), int(b))))
+        else:
+            name = ROTATION_NAMES[int(rng.integers(3))]
+            circuit.append(Gate(name, (int(rng.integers(n_qubits)),), float(rng.normal())))
+    return circuit
+
+
+class TestDifferentialUnitary:
+    @given(
+        n_qubits=st.integers(1, 6),
+        n_gates=st.integers(0, 25),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_seed_engine(self, n_qubits, n_gates, seed):
+        circuit = random_circuit(n_qubits, n_gates, seed)
+        np.testing.assert_allclose(
+            circuit.to_unitary(), legacy_to_unitary(circuit), atol=1e-9
+        )
+
+    @given(n_qubits=st.integers(1, 5), seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_statevector_matches_unitary(self, n_qubits, seed):
+        circuit = random_circuit(n_qubits, 18, seed)
+        rng = np.random.default_rng(seed)
+        state = rng.normal(size=2 ** n_qubits) + 1j * rng.normal(size=2 ** n_qubits)
+        state /= np.linalg.norm(state)
+        np.testing.assert_allclose(
+            circuit.apply_to_statevector(state),
+            legacy_to_unitary(circuit) @ state,
+            atol=1e-9,
+        )
+
+    def test_empty_circuit_is_identity(self):
+        for n_qubits in (1, 2, 4):
+            circuit = Circuit(n_qubits)
+            assert np.array_equal(circuit.to_unitary(), np.eye(2 ** n_qubits))
+            state = np.arange(2 ** n_qubits, dtype=complex)
+            assert np.array_equal(circuit.apply_to_statevector(state), state)
+
+    def test_exact_gate_set_is_bit_identical(self):
+        """Entries in {0, ±1, ±i} make both engines exact — not just close."""
+        rng = np.random.default_rng(9)
+        circuit = Circuit(6)
+        for _ in range(80):
+            name = EXACT_NAMES[int(rng.integers(len(EXACT_NAMES)))]
+            if name in TWO_QUBIT_NAMES:
+                a, b = rng.choice(6, size=2, replace=False)
+                circuit.append(Gate(name, (int(a), int(b))))
+            else:
+                circuit.append(Gate(name, (int(rng.integers(6)),)))
+        assert np.array_equal(circuit.to_unitary(), legacy_to_unitary(circuit))
+
+    def test_fusion_cannot_reorder_through_blocking_gates(self):
+        """Regression: a merge target must be the latest-created owner.
+
+        With the target chosen in gate-qubit order the RZ/SWAP pair below was
+        contracted before CNOT(1,2)/CNOT(2,3), which act on a shared qubit.
+        """
+        circuit = Circuit(
+            5,
+            [
+                Gate("X", (0,)),
+                Gate("CNOT", (1, 2)),
+                Gate("CNOT", (2, 3)),
+                Gate("X", (1,)),
+                Gate("CNOT", (0, 1)),
+            ],
+        )
+        np.testing.assert_allclose(
+            circuit.to_unitary(), legacy_to_unitary(circuit), atol=1e-12
+        )
+        circuit = Circuit(
+            6,
+            [
+                hadamard(5),
+                cnot(3, 4),
+                cnot(3, 2),
+                rz(4, 1.04002),
+                Gate("SWAP", (4, 5)),
+            ],
+        )
+        np.testing.assert_allclose(
+            circuit.to_unitary(), legacy_to_unitary(circuit), atol=1e-12
+        )
+
+    def test_fused_operations_span_at_most_two_qubits(self):
+        circuit = random_circuit(5, 40, seed=3)
+        for qubits, matrix in _fused_operations(list(circuit.gates)):
+            assert 1 <= len(qubits) <= 2
+            assert matrix.shape == (2 ** len(qubits),) * 2
+            assert qubits == tuple(sorted(qubits))
+
+    def test_single_qubit_chain_fuses_to_one_operation(self):
+        circuit = Circuit(3, [hadamard(0), Gate("S", (0,)), rz(0, 0.3), hadamard(0)])
+        assert len(_fused_operations(list(circuit.gates))) == 1
+
+
+class TestEqualsUpToGlobalPhase:
+    def test_phase_difference_accepted(self):
+        a = Circuit(2, [Gate("Z", (0,)), cnot(0, 1)])
+        b = Circuit(2, [rz(0, np.pi), cnot(0, 1)])
+        assert a.equals_up_to_global_phase(b)
+
+    def test_different_circuits_rejected(self):
+        a = Circuit(3, [hadamard(0), cnot(0, 1)])
+        b = Circuit(3, [hadamard(0), cnot(0, 2)])
+        assert not a.equals_up_to_global_phase(b)
+
+    def test_register_size_mismatch(self):
+        assert not Circuit(2).equals_up_to_global_phase(Circuit(3))
+
+    def test_near_equal_within_tolerance(self):
+        a = Circuit(1, [rz(0, 0.5)])
+        b = Circuit(1, [rz(0, 0.5 + 1e-12)])
+        assert a.equals_up_to_global_phase(b)
+        assert not a.equals_up_to_global_phase(Circuit(1, [rz(0, 0.6)]))
+
+
+class TestMetricMemoization:
+    def test_append_invalidates_every_metric(self):
+        circuit = Circuit(3, [hadamard(0), cnot(0, 1)])
+        assert circuit.cnot_count == 1
+        assert circuit.depth() == 2
+        assert circuit.two_qubit_depth() == 1
+        assert circuit.gate_histogram() == {"H": 1, "CNOT": 1}
+        assert circuit.gates == (hadamard(0), cnot(0, 1))
+        assert np.allclose(circuit.to_unitary(), circuit.to_unitary())
+
+        circuit.append(cnot(1, 2))
+        assert circuit.cnot_count == 2
+        assert circuit.depth() == 3
+        assert circuit.two_qubit_depth() == 2
+        assert circuit.gate_histogram() == {"H": 1, "CNOT": 2}
+        assert circuit.gates == (hadamard(0), cnot(0, 1), cnot(1, 2))
+        np.testing.assert_allclose(
+            circuit.to_unitary(), legacy_to_unitary(circuit), atol=1e-12
+        )
+
+    def test_extend_invalidates(self):
+        circuit = Circuit(2)
+        assert circuit.two_qubit_count == 0
+        circuit.extend([cnot(0, 1), cnot(1, 0), hadamard(1)])
+        assert circuit.two_qubit_count == 2
+        assert circuit.single_qubit_count == 1
+        assert circuit.count("cnot") == 2
+
+    def test_slice_gets_fresh_metrics(self):
+        circuit = Circuit(2, [hadamard(0), cnot(0, 1), cnot(0, 1)])
+        assert circuit.cnot_count == 2
+        head = circuit[:2]
+        assert head.cnot_count == 1
+        assert head.depth() == 2
+        assert circuit.cnot_count == 2
+
+    def test_compose_and_copy_get_fresh_metrics(self):
+        a = Circuit(2, [cnot(0, 1)])
+        b = Circuit(2, [cnot(1, 0)])
+        assert a.cnot_count == 1 and b.cnot_count == 1
+        assert a.compose(b).cnot_count == 2
+        clone = a.copy()
+        clone.append(cnot(0, 1))
+        assert clone.cnot_count == 2 and a.cnot_count == 1
+
+    def test_histogram_copy_cannot_poison_cache(self):
+        circuit = Circuit(2, [hadamard(0)])
+        histogram = circuit.gate_histogram()
+        histogram["H"] = 99
+        assert circuit.gate_histogram() == {"H": 1}
+
+    def test_memoized_values_are_cached_objects(self):
+        circuit = Circuit(2, [hadamard(0), cnot(0, 1)])
+        assert circuit.gates is circuit.gates  # same tuple until the next append
+        circuit.append(hadamard(1))
+        assert len(circuit.gates) == 3
+
+
+class TestGateMatrixCaching:
+    def test_fixed_matrices_are_shared_and_read_only(self):
+        first = Gate("H", (0,)).matrix()
+        second = Gate("H", (1,)).matrix()
+        assert first is second
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0, 0] = 2.0
+
+    def test_parametrized_matrices_are_memoized(self):
+        first = rz(0, 0.25).matrix()
+        second = rz(1, 0.25).matrix()
+        assert first is second
+        assert not first.flags.writeable
+        assert rz(0, 0.26).matrix() is not first
+
+    def test_cached_matrices_still_correct(self):
+        theta = 0.7
+        np.testing.assert_allclose(
+            rz(0, theta).matrix(),
+            np.diag([np.exp(-0.5j * theta), np.exp(0.5j * theta)]),
+        )

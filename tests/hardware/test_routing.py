@@ -191,3 +191,25 @@ class TestMetricsAndDecomposition:
     def test_metrics_hashable(self):
         result = route_circuit(Circuit(3, [cnot(0, 2)]), Topology.line(3))
         assert hash(result.metrics()) is not None
+
+
+class TestInverseLayout:
+    def test_inverse_layouts_invert_the_layouts(self):
+        original = random_circuit(3, 15, seed=8)
+        result = route_circuit(original, Topology.grid(2, 3), seed=0)
+        for layout, inverse in [
+            (result.initial_layout, result.initial_inverse_layout),
+            (result.final_layout, result.final_inverse_layout),
+        ]:
+            assert len(inverse) == 6
+            for logical, physical in enumerate(layout):
+                assert inverse[physical] == logical
+            occupied = set(layout)
+            for physical in range(6):
+                if physical not in occupied:
+                    assert inverse[physical] == -1
+
+    def test_identity_layout_round_trip(self):
+        result = naive_route_circuit(random_circuit(4, 10, seed=1), Topology.line(4))
+        assert result.initial_inverse_layout == (0, 1, 2, 3)
+        assert result.final_inverse_layout == (0, 1, 2, 3)

@@ -6,10 +6,16 @@ backend under ``cProfile`` and prints the top cumulative (or total-time)
 hotspots, cold by default (the SCF/integral caches are cleared first, so the
 profile covers the chemistry front-end too).
 
+``--sim`` switches to the verification core instead: it profiles dense
+unitary construction (``Circuit.to_unitary``) and statevector application
+(``Circuit.apply_to_statevector``) on a random circuit, the hot path of the
+differential harnesses and hypothesis suites.
+
 Usage:
     PYTHONPATH=src python tools/profile_compile.py LiH --n-terms 12
     PYTHONPATH=src python tools/profile_compile.py H2 --backend advanced --top 15
     PYTHONPATH=src python tools/profile_compile.py LiH --sort tottime --warm
+    PYTHONPATH=src python tools/profile_compile.py --sim --sim-qubits 10 --sim-gates 200
 """
 
 from __future__ import annotations
@@ -22,7 +28,12 @@ import time
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("molecule", help="molecule name (H2, LiH, BeH2, H2O, NH3, HF)")
+    parser.add_argument(
+        "molecule",
+        nargs="?",
+        default="LiH",
+        help="molecule name (H2, LiH, BeH2, H2O, NH3, HF); ignored with --sim",
+    )
     parser.add_argument("--n-terms", type=int, default=12, help="ansatz terms to select")
     parser.add_argument(
         "--backend",
@@ -41,7 +52,18 @@ def main() -> None:
         action="store_true",
         help="keep the SCF/integral caches warm instead of clearing them first",
     )
+    parser.add_argument(
+        "--sim",
+        action="store_true",
+        help="profile the simulation engine (unitary + statevector) instead of compilation",
+    )
+    parser.add_argument("--sim-qubits", type=int, default=10, help="register size for --sim")
+    parser.add_argument("--sim-gates", type=int, default=200, help="gate count for --sim")
     args = parser.parse_args()
+
+    if args.sim:
+        profile_simulation(args)
+        return
 
     from repro import compile_molecule_ansatz
     from repro.chemistry import clear_integral_caches, clear_scf_cache
@@ -87,6 +109,45 @@ def main() -> None:
     print(
         f"compile {args.molecule} n_terms={args.n_terms} ({label}, "
         f"{'warm' if args.warm else 'cold'}): {elapsed:.3f}s\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+
+def profile_simulation(args) -> None:
+    """Profile unitary construction and statevector application (``--sim``)."""
+    import numpy as np
+
+    from repro.circuits import Circuit, Gate
+
+    rng = np.random.default_rng(0)
+    n = args.sim_qubits
+    circuit = Circuit(n)
+    single = ["H", "X", "S", "SDG"]
+    for _ in range(args.sim_gates):
+        draw = rng.random()
+        if draw < 0.35:
+            circuit.append(Gate(single[int(rng.integers(len(single)))], (int(rng.integers(n)),)))
+        elif draw < 0.6:
+            circuit.append(Gate("RZ", (int(rng.integers(n)),), float(rng.normal())))
+        else:
+            a, b = rng.choice(n, size=2, replace=False)
+            circuit.append(Gate("CNOT", (int(a), int(b))))
+    probe = rng.normal(size=2 ** n) + 1j * rng.normal(size=2 ** n)
+    probe /= np.linalg.norm(probe)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    circuit.to_unitary()
+    for _ in range(10):
+        circuit.apply_to_statevector(probe)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"simulation engine {n} qubits / {args.sim_gates} gates "
+        f"(1x to_unitary + 10x apply_to_statevector): {elapsed:.3f}s\n"
     )
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
