@@ -28,7 +28,11 @@ The package is organised bottom-up:
 * :mod:`repro.hardware` — device coupling-graph topologies (line, ring,
   grid, heavy-hex, custom), SABRE-style SWAP routing, and topology-steered
   Pauli-exponential synthesis; set ``CompilerConfig(topology=...)`` and every
-  backend reports routed CNOT/SWAP/depth metrics next to the Table-I counts.
+  backend reports routed CNOT/SWAP/depth metrics next to the Table-I counts;
+* :mod:`repro.service` — compile-as-a-service: an asyncio job API
+  (submit/status/result/cancel, priorities, backpressure, in-flight dedup)
+  over a persistent sharded on-disk compile cache shared across processes,
+  with per-tier hit-rate and latency metrics.
 
 Quickstart
 ----------

@@ -39,7 +39,13 @@ from repro.api.backends import (
     compiled_rotation_sequence,
     register_default_backends,
 )
-from repro.api.batch import BackendResults, BatchResult, CompileCache, compile_batch
+from repro.api.batch import (
+    BackendResults,
+    BatchResult,
+    CompileCache,
+    cache_key_digest,
+    compile_batch,
+)
 from repro.api.config import CompilerConfig
 
 __all__ = [
@@ -56,6 +62,7 @@ __all__ = [
     "BaselineBackend",
     "NaiveTransformBackend",
     "available_backends",
+    "cache_key_digest",
     "canonical_backend_name",
     "compile_batch",
     "compiled_rotation_sequence",

@@ -19,12 +19,15 @@ Worker processes resolve backends by name from their own registry.  The four
 default backends are always available there; custom backends reach workers
 only on platforms whose process start method is ``fork`` (Linux), because a
 ``spawn``-ed worker imports just :mod:`repro.api` and never the module that
-registered the custom backend — on spawn platforms run custom backends with
-``workers=1``.
+registered the custom backend.  :func:`compile_batch` refuses that
+combination eagerly (see :func:`_check_worker_backends`) instead of letting
+workers fail with an opaque ``KeyError`` mid-batch.
 """
 
 from __future__ import annotations
 
+import hashlib
+import multiprocessing
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -41,13 +44,40 @@ from repro.api.backend import (
 CacheKey = Tuple[Hashable, str]
 
 
+def cache_key_digest(key: CacheKey) -> str:
+    """Stable SHA-256 content address of a memoization key (hex).
+
+    A :data:`CacheKey` is a nest of primitives — ints, floats, strings,
+    booleans, ``None`` and tuples (nested dataclasses such as
+    :class:`~repro.hardware.topology.Topology` are flattened by the config
+    fingerprint's ``dataclasses.astuple``) — so its ``repr`` is deterministic
+    across processes and interpreter restarts.  The persistent on-disk cache
+    (:class:`repro.service.PersistentCompileCache`) uses this digest to shard
+    and address entries.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
 @dataclass
 class CompileCache:
-    """In-memory memoization of compile results with hit/miss accounting."""
+    """In-memory memoization of compile results with hit/miss accounting.
+
+    ``max_entries`` bounds the cache: when set, inserting beyond the bound
+    evicts the least-recently-used entry (a :meth:`get` hit refreshes an
+    entry's recency, :meth:`peek` does not) and increments ``evictions``,
+    mirroring the bounded-cache convention of the SCF/integral caches.
+    ``None`` (the default) keeps the historical unbounded behavior.
+    """
 
     _store: Dict[CacheKey, CompileResult] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    max_entries: Optional[int] = None
+    evictions: int = 0
+
+    def __post_init__(self):
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be None or at least 1")
 
     @staticmethod
     def key(request: CompileRequest, backend_name: str) -> CacheKey:
@@ -70,19 +100,27 @@ class CompileCache:
             self.misses += 1
         else:
             self.hits += 1
+            if self.max_entries is not None:  # refresh LRU recency
+                self._store[key] = self._store.pop(key)
         return result
 
     def peek(self, key: CacheKey) -> Optional[CompileResult]:
-        """Like :meth:`get` but without touching the hit/miss counters."""
+        """Like :meth:`get` but without touching counters or LRU recency."""
         return self._store.get(key)
 
     def put(self, key: CacheKey, result: CompileResult) -> None:
+        self._store.pop(key, None)  # re-insert at the most-recent position
         self._store[key] = result
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                del self._store[next(iter(self._store))]
+                self.evictions += 1
 
     def clear(self) -> None:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -145,6 +183,28 @@ def _compile_job(job: Tuple[str, CompileRequest]) -> CompileResult:
     return get_backend(backend_name).compile(request)
 
 
+def _check_worker_backends(canonical_names: Sequence[str]) -> None:
+    """Refuse custom backends on process pools whose start method isn't fork.
+
+    A ``spawn``-ed (or ``forkserver``-ed) worker imports :mod:`repro.api`
+    fresh and never runs the module that registered a custom backend, so the
+    worker's registry lookup would fail with a bare ``KeyError`` deep inside
+    the pool.  Raise eagerly, before any job runs, with the offending names.
+    """
+    from repro.api.backends import DEFAULT_BACKEND_NAMES  # late: avoids cycle
+
+    custom = [name for name in canonical_names if name not in DEFAULT_BACKEND_NAMES]
+    start_method = multiprocessing.get_start_method()
+    if custom and start_method != "fork":
+        raise RuntimeError(
+            f"custom backend(s) {custom} cannot reach worker processes under "
+            f"the {start_method!r} start method: spawned workers import only "
+            "repro.api and never the module that registered them. "
+            "Run with workers=1, or use only the default backends "
+            f"{sorted(DEFAULT_BACKEND_NAMES)} in parallel batches."
+        )
+
+
 def compile_batch(
     requests: Sequence[CompileRequest],
     backends: Union[str, Sequence[str]] = "advanced",
@@ -179,6 +239,8 @@ def compile_batch(
     canonical_names = tuple(canonical_backend_name(name) for name in backends)
     if len(set(canonical_names)) != len(canonical_names):
         raise ValueError(f"duplicate backends requested: {canonical_names}")
+    if workers > 1 and executor is None:
+        _check_worker_backends(canonical_names)
     cache = cache if cache is not None else CompileCache()
 
     start = time.perf_counter()

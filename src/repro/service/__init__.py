@@ -1,0 +1,52 @@
+"""Compile-as-a-service: async job API over a tiered compile cache.
+
+The service layer turns the per-call batch compiler into a long-lived,
+shareable service — the "millions of users" deployment story, where most
+traffic repeats the same molecules/configs and should never recompile:
+
+* :class:`PersistentCompileCache` — sharded, version-stamped, LRU-bounded
+  on-disk results shared across processes (atomic writes, stale-version
+  invalidation tied to the golden files);
+* :class:`CompileService` — asyncio front end with ``submit / status /
+  result / cancel``, per-job priorities, a bounded queue (backpressure via
+  :class:`ServiceOverloadedError`) and deduplication of identical in-flight
+  requests, serving every job through memory → disk → compute;
+* :class:`ServiceMetrics` — per-tier hit rates, queue depth and
+  wait/compute/total latency histograms (p50/p95/p99), dumped by
+  ``benchmarks/bench_service.py`` into ``BENCH_service.json``.
+
+>>> from repro.service import CompileService, PersistentCompileCache
+>>> async with CompileService(disk_cache=PersistentCompileCache(".cc")) as svc:
+...     result = await svc.compile(request, backend="advanced")
+...     svc.metrics.snapshot()["hit_rates"]
+"""
+
+from repro.service.cache import (
+    CACHE_FORMAT_VERSION,
+    PersistentCompileCache,
+    golden_version_stamp,
+)
+from repro.service.metrics import TIERS, LatencyHistogram, ServiceMetrics
+from repro.service.service import (
+    CompileService,
+    JobCancelledError,
+    JobState,
+    JobStatus,
+    ServiceOverloadedError,
+    UnknownJobError,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CompileService",
+    "JobCancelledError",
+    "JobState",
+    "JobStatus",
+    "LatencyHistogram",
+    "PersistentCompileCache",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+    "TIERS",
+    "UnknownJobError",
+    "golden_version_stamp",
+]

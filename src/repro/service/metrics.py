@@ -1,0 +1,143 @@
+"""Observability for the compile service: tier hit rates and latency tails.
+
+:class:`ServiceMetrics` is the single metrics object a
+:class:`~repro.service.CompileService` instance owns.  It tracks
+
+* **tier counters** — how many finished jobs were served by each tier of the
+  lookup path (``memory`` → ``disk`` → ``compute``) plus ``dedup`` joins
+  (submits that attached to an identical in-flight compilation), and the
+  failure/cancellation/backpressure-rejection counts;
+* **queue pressure** — current and peak queue depth;
+* **latency histograms** — ``wait`` (submit → worker pickup), ``compute``
+  (backend compile only) and ``total`` (submit → result) with p50/p95/p99.
+
+Everything is plain-Python and JSON-serializable via :meth:`snapshot`, which
+is what ``benchmarks/bench_service.py`` dumps into ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: The lookup tiers a finished job can be served from.
+TIERS = ("memory", "disk", "compute", "dedup")
+
+
+class LatencyHistogram:
+    """Latency samples with percentile summaries (p50/p95/p99).
+
+    Samples are kept exactly (no binning) and summarized on demand with the
+    nearest-rank method; service workloads are small enough that exactness
+    beats streaming sketches.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile of the samples; ``None`` when empty."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be between 0 and 100")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> Dict:
+        """JSON-ready summary in milliseconds."""
+        if not self.samples:
+            return {"count": 0}
+        to_ms = lambda s: round(s * 1e3, 4)  # noqa: E731 - tiny local adapter
+        return {
+            "count": len(self.samples),
+            "mean_ms": to_ms(sum(self.samples) / len(self.samples)),
+            "p50_ms": to_ms(self.percentile(50)),
+            "p95_ms": to_ms(self.percentile(95)),
+            "p99_ms": to_ms(self.percentile(99)),
+            "max_ms": to_ms(max(self.samples)),
+        }
+
+
+class ServiceMetrics:
+    """Counters, gauges and histograms of one :class:`CompileService`."""
+
+    def __init__(self):
+        self.tier_counts: Dict[str, int] = {tier: 0 for tier in TIERS}
+        self.failures = 0
+        self.cancellations = 0
+        self.rejections = 0
+        self.submitted = 0
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
+        self.wait = LatencyHistogram("wait")
+        self.compute = LatencyHistogram("compute")
+        self.total = LatencyHistogram("total")
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count_tier(self, tier: str) -> None:
+        if tier not in self.tier_counts:
+            raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        self.tier_counts[tier] += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        self.queue_depth = depth
+        self.queue_depth_peak = max(self.queue_depth_peak, depth)
+
+    # ------------------------------------------------------------------
+    # Derived rates
+    # ------------------------------------------------------------------
+    @property
+    def served(self) -> int:
+        """Jobs that finished successfully (every tier, dedup included)."""
+        return sum(self.tier_counts.values())
+
+    def hit_rate(self, tier: str) -> float:
+        """Fraction of served jobs answered by ``tier`` (0.0 when idle)."""
+        if tier not in self.tier_counts:
+            raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        if self.served == 0:
+            return 0.0
+        return self.tier_counts[tier] / self.served
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of served jobs that avoided a compile entirely."""
+        if self.served == 0:
+            return 0.0
+        avoided = self.served - self.tier_counts["compute"]
+        return avoided / self.served
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """One JSON-serializable dict of everything above."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "tiers": dict(self.tier_counts),
+            "hit_rates": {
+                tier: round(self.hit_rate(tier), 6) for tier in TIERS
+            },
+            "cache_hit_rate": round(self.cache_hit_rate, 6),
+            "failures": self.failures,
+            "cancellations": self.cancellations,
+            "rejections": self.rejections,
+            "queue_depth": self.queue_depth,
+            "queue_depth_peak": self.queue_depth_peak,
+            "latency": {
+                "wait": self.wait.summary(),
+                "compute": self.compute.summary(),
+                "total": self.total.summary(),
+            },
+        }

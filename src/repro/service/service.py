@@ -1,0 +1,433 @@
+"""Asyncio compile-as-a-service front end over the batch compilation layer.
+
+:class:`CompileService` turns the per-call :func:`repro.api.compile_batch`
+machinery into a long-lived service with a job API:
+
+* ``submit(request, backend, priority)`` → job id (backpressure: a bounded
+  priority queue; a full queue rejects with :class:`ServiceOverloadedError`
+  instead of buffering unboundedly);
+* ``status(job_id)`` → :class:`JobStatus` snapshot;
+* ``result(job_id)`` → awaits and returns the :class:`~repro.api.CompileResult`;
+* ``cancel(job_id)`` → best-effort cancellation of queued work.
+
+Identical in-flight requests — same memoization key as the in-memory
+:class:`~repro.api.CompileCache` — are **deduplicated**: N submitters share
+one compilation future and N-1 of them are served from the ``dedup`` tier.
+Worker tasks serve each job through the layered lookup path
+
+    memory (CompileCache) → disk (PersistentCompileCache) → compute
+
+where the compute step reuses the batch layer's worker entry point
+(:func:`repro.api.batch._compile_job`) on a caller-supplied executor — pass a
+``ProcessPoolExecutor`` for real parallelism, or leave the default to run
+compilations on the event loop's thread pool.  Every tier transition is
+recorded in :class:`~repro.service.metrics.ServiceMetrics`.
+
+Usage::
+
+    async with CompileService(disk_cache=PersistentCompileCache(dir)) as svc:
+        job = await svc.submit(request, backend="advanced")
+        result = await svc.result(job)
+        svc.metrics.snapshot()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.backend import CompileRequest, CompileResult, canonical_backend_name
+from repro.api.batch import CacheKey, CompileCache, _compile_job
+from repro.service.cache import PersistentCompileCache
+from repro.service.metrics import ServiceMetrics
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The job queue is full; the submitter should back off and retry."""
+
+
+class UnknownJobError(KeyError):
+    """The job id was never issued by this service instance."""
+
+
+class JobCancelledError(RuntimeError):
+    """The awaited job was cancelled before producing a result."""
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Point-in-time snapshot of one submitted job."""
+
+    job_id: str
+    state: JobState
+    backend: str
+    priority: int
+    tier: Optional[str]
+    error: Optional[str]
+    deduplicated: bool
+    total_s: Optional[float]
+
+
+class _Job:
+    """Internal per-submit record; deduplicated submits share ``future``."""
+
+    __slots__ = (
+        "job_id", "request", "backend", "key", "priority", "future",
+        "submitted_at", "started_at", "finished_at", "tier", "error",
+        "cancelled", "link", "joiners",
+    )
+
+    def __init__(self, job_id, request, backend, key, priority, future, link=None):
+        self.job_id = job_id
+        self.request = request
+        self.backend = backend
+        self.key = key
+        self.priority = priority
+        self.future = future
+        self.submitted_at = time.perf_counter()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.tier: Optional[str] = None
+        self.error: Optional[str] = None
+        self.cancelled = False
+        self.link: Optional[_Job] = link  # primary job, for deduplicated submits
+        self.joiners: List[_Job] = []
+
+    @property
+    def primary(self) -> "_Job":
+        return self.link if self.link is not None else self
+
+    @property
+    def abandoned(self) -> bool:
+        """Every submitter of this compilation has cancelled."""
+        job = self.primary
+        return job.cancelled and all(joiner.cancelled for joiner in job.joiners)
+
+    @property
+    def state(self) -> JobState:
+        if self.cancelled or self.future.cancelled():
+            return JobState.CANCELLED
+        if self.future.done():
+            return JobState.FAILED if self.future.exception() else JobState.DONE
+        if self.primary.started_at is not None:
+            return JobState.RUNNING
+        return JobState.QUEUED
+
+    def status(self) -> JobStatus:
+        finished = self.finished_at
+        return JobStatus(
+            job_id=self.job_id,
+            state=self.state,
+            backend=self.backend,
+            priority=self.priority,
+            tier=self.tier,
+            error=self.primary.error,
+            deduplicated=self.link is not None,
+            total_s=None if finished is None else finished - self.submitted_at,
+        )
+
+
+class CompileService:
+    """Async compile service: bounded priority queue, dedup, tiered caching.
+
+    Parameters
+    ----------
+    disk_cache:
+        Optional :class:`PersistentCompileCache` shared across processes.
+    memory_cache:
+        In-memory :class:`~repro.api.CompileCache`; a fresh private one is
+        created unless ``use_memory_cache=False`` disables the tier.
+    executor:
+        Where compilations run.  ``None`` uses the event loop's default
+        thread pool; pass a ``ProcessPoolExecutor`` for CPU parallelism
+        (the caller owns and shuts it down).
+    n_workers:
+        Concurrent worker tasks draining the queue.
+    max_queue:
+        Queue bound; a full queue makes :meth:`submit` raise
+        :class:`ServiceOverloadedError` (the backpressure signal).
+
+    Lower ``priority`` values run earlier; ties are FIFO.
+    """
+
+    def __init__(
+        self,
+        disk_cache: Optional[PersistentCompileCache] = None,
+        memory_cache: Optional[CompileCache] = None,
+        executor: Optional[Executor] = None,
+        n_workers: int = 2,
+        max_queue: int = 64,
+        use_memory_cache: bool = True,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if memory_cache is None and use_memory_cache:
+            memory_cache = CompileCache()
+        self.disk_cache = disk_cache
+        self.memory_cache = memory_cache if use_memory_cache else None
+        self.metrics = ServiceMetrics()
+        self._executor = executor
+        self._n_workers = n_workers
+        self._max_queue = max_queue
+        self._queue: Optional[asyncio.PriorityQueue] = None
+        self._workers: List[asyncio.Task] = []
+        self._jobs: Dict[str, _Job] = {}
+        self._inflight: Dict[CacheKey, _Job] = {}
+        self._seq = itertools.count()
+        self._order = itertools.count()  # FIFO tiebreak inside one priority
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "CompileService":
+        if self._queue is not None:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.PriorityQueue(maxsize=self._max_queue)
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"compile-worker-{i}")
+            for i in range(self._n_workers)
+        ]
+        return self
+
+    async def close(self) -> None:
+        """Stop the workers; unfinished job futures are cancelled."""
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._queue = None
+        for job in self._jobs.values():
+            if not job.future.done():
+                job.future.cancel()
+        self._inflight.clear()
+
+    async def __aenter__(self) -> "CompileService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def join(self) -> None:
+        """Wait until every queued job has been processed."""
+        self._require_started()
+        await self._queue.join()
+
+    # ------------------------------------------------------------------
+    # Job API
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        request: CompileRequest,
+        backend: str = "advanced",
+        priority: int = 0,
+    ) -> str:
+        """Enqueue one compilation; returns the job id.
+
+        An identical in-flight request (same memoization key) is joined, not
+        re-queued: the new job shares the existing compilation future and
+        costs no queue slot.  A full queue raises
+        :class:`ServiceOverloadedError` and counts a rejection.
+        """
+        self._require_started()
+        canonical = canonical_backend_name(backend)
+        key = CompileCache.key(request, canonical)
+        job_id = f"job-{next(self._seq)}"
+
+        primary = self._inflight.get(key)
+        if primary is not None and not primary.future.done():
+            job = _Job(job_id, request, canonical, key, priority,
+                       primary.future, link=primary)
+            primary.joiners.append(job)
+            self._jobs[job_id] = job
+            self.metrics.submitted += 1
+            return job_id
+
+        loop = asyncio.get_running_loop()
+        job = _Job(job_id, request, canonical, key, priority, loop.create_future())
+        # Mark the shared future's eventual exception as observed so an
+        # abandoned job never triggers the "exception was never retrieved"
+        # warning; result() still re-raises for every awaiting submitter.
+        job.future.add_done_callback(
+            lambda f: None if f.cancelled() else f.exception()
+        )
+        try:
+            self._queue.put_nowait((priority, next(self._order), job))
+        except asyncio.QueueFull:
+            self.metrics.rejections += 1
+            raise ServiceOverloadedError(
+                f"compile queue is full ({self._max_queue} jobs); "
+                "retry after in-flight work drains"
+            ) from None
+        self._jobs[job_id] = job
+        self._inflight[key] = job
+        self.metrics.submitted += 1
+        self.metrics.record_queue_depth(self._queue.qsize())
+        return job_id
+
+    def status(self, job_id: str) -> JobStatus:
+        return self._job(job_id).status()
+
+    async def result(self, job_id: str) -> CompileResult:
+        """Await and return the job's result; re-raises compile failures."""
+        job = self._job(job_id)
+        if job.cancelled:
+            raise JobCancelledError(job_id)
+        try:
+            return await asyncio.shield(job.future)
+        except asyncio.CancelledError:
+            if job.future.cancelled():
+                raise JobCancelledError(job_id) from None
+            raise  # the awaiting task itself was cancelled
+
+    def cancel(self, job_id: str) -> bool:
+        """Best-effort cancel: only not-yet-started work can be cancelled.
+
+        Cancelling one of several deduplicated submitters only detaches that
+        submitter; the shared compilation proceeds for the rest and is
+        abandoned (skipped by the worker) once every submitter cancels.
+        """
+        job = self._job(job_id)
+        if job.cancelled:
+            return True
+        if job.future.done() or job.primary.started_at is not None:
+            return False
+        job.cancelled = True
+        self.metrics.cancellations += 1
+        return True
+
+    async def compile(
+        self,
+        request: CompileRequest,
+        backend: str = "advanced",
+        priority: int = 0,
+    ) -> CompileResult:
+        """Submit-and-await convenience for request/response callers."""
+        return await self.result(await self.submit(request, backend, priority))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Service metrics plus per-tier cache counters, JSON-ready."""
+        data = {"metrics": self.metrics.snapshot()}
+        if self.memory_cache is not None:
+            data["memory_cache"] = {
+                "entries": len(self.memory_cache),
+                "hits": self.memory_cache.hits,
+                "misses": self.memory_cache.misses,
+                "evictions": self.memory_cache.evictions,
+                "max_entries": self.memory_cache.max_entries,
+            }
+        if self.disk_cache is not None:
+            data["disk_cache"] = {
+                "version": self.disk_cache.version,
+                "hits": self.disk_cache.hits,
+                "misses": self.disk_cache.misses,
+                "stale_invalidations": self.disk_cache.stale_invalidations,
+                "evictions": self.disk_cache.evictions,
+            }
+        return data
+
+    # ------------------------------------------------------------------
+    # Worker path
+    # ------------------------------------------------------------------
+    def _require_started(self) -> None:
+        if self._queue is None:
+            raise RuntimeError(
+                "service not started; use 'async with CompileService(...)' "
+                "or await service.start()"
+            )
+
+    def _job(self, job_id: str) -> _Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def _lookup(self, key: CacheKey) -> Tuple[Optional[CompileResult], Optional[str]]:
+        """The cache tiers of the lookup path: memory first, then disk."""
+        if self.memory_cache is not None:
+            result = self.memory_cache.get(key)
+            if result is not None:
+                return result, "memory"
+        if self.disk_cache is not None:
+            result = self.disk_cache.get(key)
+            if result is not None:
+                return result, "disk"
+        return None, None
+
+    async def _worker(self) -> None:
+        while True:
+            _, _, job = await self._queue.get()
+            try:
+                await self._process(job)
+            finally:
+                self._queue.task_done()
+                self.metrics.record_queue_depth(self._queue.qsize())
+
+    async def _process(self, job: _Job) -> None:
+        if job.abandoned:
+            self._inflight.pop(job.key, None)
+            finished = time.perf_counter()
+            for submitter in [job] + job.joiners:
+                submitter.finished_at = finished
+            job.future.cancel()
+            return
+        job.started_at = time.perf_counter()
+        self.metrics.wait.record(job.started_at - job.submitted_at)
+        try:
+            result, tier = self._lookup(job.key)
+            if result is None:
+                loop = asyncio.get_running_loop()
+                compute_start = time.perf_counter()
+                result = await loop.run_in_executor(
+                    self._executor, _compile_job, (job.backend, job.request)
+                )
+                self.metrics.compute.record(time.perf_counter() - compute_start)
+                tier = "compute"
+                if self.disk_cache is not None:
+                    self.disk_cache.put(job.key, result)
+            if self.memory_cache is not None:
+                self.memory_cache.put(job.key, result)
+        except asyncio.CancelledError:
+            job.future.cancel()  # service shutdown mid-compile
+            raise
+        except Exception as exc:
+            self._finish(job, error=exc)
+            return
+        job.tier = tier
+        self._finish(job, result=result)
+
+    def _finish(self, job: _Job, result=None, error=None) -> None:
+        finished = time.perf_counter()
+        self._inflight.pop(job.key, None)
+        for submitter in [job] + job.joiners:
+            submitter.finished_at = finished
+            if submitter.cancelled:
+                continue
+            self.metrics.total.record(finished - submitter.submitted_at)
+            if error is None:
+                tier = job.tier if submitter is job else "dedup"
+                submitter.tier = tier
+                self.metrics.count_tier(tier)
+        if error is not None:
+            job.error = repr(error)
+            self.metrics.failures += 1
+            job.future.set_exception(error)
+        else:
+            job.future.set_result(result)

@@ -148,6 +148,102 @@ class TestCacheHits:
         assert cache.hits == 0 and cache.misses == 0
 
 
+class TestBoundedCache:
+    def test_lru_eviction_beyond_max_entries(self, counting):
+        cache = CompileCache(max_entries=2)
+        first, second, third = (make_request(shift) for shift in range(3))
+        compile_batch([first, second], backends="counting", cache=cache)
+        # Touch `first` so `second` is the least recently used entry.
+        assert cache.get(CompileCache.key(first, "counting")) is not None
+        compile_batch([third], backends="counting", cache=cache)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert CompileCache.key(second, "counting") not in cache
+        assert CompileCache.key(first, "counting") in cache
+
+    def test_evicted_entry_recompiles(self, counting):
+        cache = CompileCache(max_entries=1)
+        requests = [make_request(), make_request(shift=1)]
+        compile_batch(requests, backends="counting", cache=cache)
+        compile_batch([make_request()], backends="counting", cache=cache)
+        assert counting.calls == 3  # the first request's entry was evicted
+
+    def test_peek_does_not_refresh_recency(self, counting):
+        cache = CompileCache(max_entries=2)
+        first, second = make_request(), make_request(shift=1)
+        compile_batch([first, second], backends="counting", cache=cache)
+        cache.peek(CompileCache.key(first, "counting"))  # no recency refresh
+        compile_batch([make_request(shift=2)], backends="counting", cache=cache)
+        assert CompileCache.key(first, "counting") not in cache  # still LRU
+
+    def test_clear_resets_evictions(self, counting):
+        cache = CompileCache(max_entries=1)
+        compile_batch(
+            [make_request(), make_request(shift=1)], backends="counting", cache=cache
+        )
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            CompileCache(max_entries=0)
+
+    def test_unbounded_cache_never_evicts(self, counting):
+        cache = CompileCache()
+        compile_batch(
+            [make_request(shift) for shift in range(4)],
+            backends="counting",
+            cache=cache,
+        )
+        assert len(cache) == 4 and cache.evictions == 0
+
+
+class TestCacheKeyDigest:
+    def test_digest_is_stable_and_hex(self):
+        from repro.api import cache_key_digest
+
+        key = CompileCache.key(make_request(), "advanced")
+        digest = cache_key_digest(key)
+        assert digest == cache_key_digest(key)
+        assert len(digest) == 64 and int(digest, 16) >= 0
+
+    def test_digest_separates_requests_backends_and_configs(self):
+        from repro.api import cache_key_digest
+
+        base = cache_key_digest(CompileCache.key(make_request(), "advanced"))
+        assert base != cache_key_digest(CompileCache.key(make_request(1), "advanced"))
+        assert base != cache_key_digest(CompileCache.key(make_request(), "baseline"))
+        swept = make_request(config=FAST.replace(gamma_steps=9))
+        assert base != cache_key_digest(CompileCache.key(swept, "advanced"))
+
+
+class TestSpawnPlatformGuard:
+    def test_custom_backend_with_non_fork_workers_raises_eagerly(
+        self, counting, monkeypatch
+    ):
+        import multiprocessing
+
+        monkeypatch.setattr(multiprocessing, "get_start_method", lambda: "spawn")
+        with pytest.raises(RuntimeError, match="counting.*workers=1"):
+            compile_batch([make_request()], backends="counting", workers=2)
+        assert counting.calls == 0  # raised before compiling anything
+
+    def test_default_backends_unaffected_by_start_method(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(multiprocessing, "get_start_method", lambda: "spawn")
+        batch = compile_batch([make_request()], backends="jw", workers=2)
+        assert batch.results[0]["jw"].cnot_count > 0
+
+    def test_custom_backend_serial_unaffected(self, counting, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(multiprocessing, "get_start_method", lambda: "spawn")
+        batch = compile_batch([make_request()], backends="counting", workers=1)
+        assert batch.results[0]["counting"].cnot_count == 7
+
+
 class TestMultiBackendBatches:
     def test_all_table1_flows_in_one_call(self):
         batch = compile_batch(
