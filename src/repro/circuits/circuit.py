@@ -27,6 +27,14 @@ import numpy as np
 
 from repro.circuits.gates import Gate
 
+#: Independent seeds for the ``equals_up_to_global_phase`` random probes.
+_PROBE_SEEDS = (0x5EED, 0x5EED << 1, 0x5EED << 2)
+
+#: Cap on the probe early-reject threshold: for unitaries U, V and a unit
+#: probe ψ the deviation ||<Uψ|Vψ>| - 1| never exceeds 1, so an uncapped
+#: ``dim * tolerance`` bound is vacuous at large dim.
+_PROBE_DEVIATION_CAP = 0.1
+
 _IDENTITY_2 = np.eye(2, dtype=complex)
 _SWAP_4 = np.array(
     [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
@@ -221,24 +229,35 @@ class Circuit:
     def equals_up_to_global_phase(self, other: "Circuit", tolerance: float = 1e-8) -> bool:
         """True if the two circuits implement the same unitary up to global phase.
 
-        A cheap pre-check first applies both circuits to one fixed
-        pseudo-random statevector: genuinely different unitaries almost surely
-        move it to states with overlap magnitude well below one, so the
-        ``O(4**n)`` full-unitary comparison only runs for (near-)equal
+        A cheap pre-check first applies both circuits to a few fixed
+        pseudo-random statevectors: genuinely different unitaries almost
+        surely move them to states with overlap magnitude well below one, so
+        the ``O(4**n)`` full-unitary comparison only runs for (near-)equal
         circuits.  The pre-check threshold is scaled so any pair the full
-        entrywise check could accept is never rejected early.
+        entrywise check could accept is never rejected early — but it is
+        capped, because the naive ``dim * tolerance`` Frobenius bound grows
+        past the largest possible overlap deviation once ``dim`` is large,
+        which would make the probe vacuous and send every comparison to the
+        dense check.  Independent probes keep the false-accept odds of the
+        cheap path negligible.
         """
         if other.n_qubits != self.n_qubits:
             return False
         dim = 2 ** self.n_qubits
-        rng = np.random.default_rng(0x5EED)
-        probe = rng.normal(size=dim) + 1j * rng.normal(size=dim)
-        probe /= np.linalg.norm(probe)
-        overlap = np.vdot(self.apply_to_statevector(probe), other.apply_to_statevector(probe))
         # Entrywise deviation <= tolerance on U†V - phase·I bounds the probe
-        # overlap deviation by dim * tolerance (Frobenius bound).
-        if abs(abs(overlap) - 1.0) > dim * tolerance + 1e-9:
-            return False
+        # overlap deviation by dim * tolerance (Frobenius bound); the cap
+        # keeps the pre-check decisive at large dim, where the uncapped bound
+        # exceeds the maximum deviation any probe could ever show.
+        threshold = min(dim * tolerance, _PROBE_DEVIATION_CAP) + 1e-9
+        for seed in _PROBE_SEEDS:
+            rng = np.random.default_rng(seed)
+            probe = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+            probe /= np.linalg.norm(probe)
+            overlap = np.vdot(
+                self.apply_to_statevector(probe), other.apply_to_statevector(probe)
+            )
+            if abs(abs(overlap) - 1.0) > threshold:
+                return False
         u, v = self.to_unitary(), other.to_unitary()
         product = u.conj().T @ v
         phase = product[0, 0]

@@ -40,6 +40,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -205,6 +206,7 @@ class PersistentCompileCache:
         except BaseException:
             self._unlink(Path(tmp_name))
             raise
+        self._touch(path)  # stamp recency on the same clock the hits use
         if self.max_entries is not None:
             self._evict_over_budget()
 
@@ -215,10 +217,13 @@ class PersistentCompileCache:
         bound itself implies.  Concurrent removals by other processes are
         tolerated — an already-gone file simply doesn't count.
         """
-        entries: List[Tuple[float, Path]] = []
+        entries: List[Tuple[int, Path]] = []
         for path in self._entry_paths():
             try:
-                entries.append((path.stat().st_mtime, path))
+                # Integer nanoseconds, not the float st_mtime: float64 seconds
+                # quantize to hundreds of nanoseconds at the current epoch and
+                # would collapse the strictly-increasing stamps _touch writes.
+                entries.append((path.stat().st_mtime_ns, path))
             except FileNotFoundError:
                 continue
         excess = len(entries) - self.max_entries
@@ -302,10 +307,20 @@ class PersistentCompileCache:
         except FileNotFoundError:
             return False
 
-    @staticmethod
-    def _touch(path: Path) -> None:
+    # LRU recency stamps must be strictly increasing even when the clock is
+    # coarse (1 s mtime granularity on some filesystems) or two hits land in
+    # the same clock tick; otherwise a hot entry touched "at the same time"
+    # as a cold one can lose the eviction sort and be dropped.
+    _touch_lock = threading.Lock()
+    _last_touch_ns = 0
+
+    @classmethod
+    def _touch(cls, path: Path) -> None:
+        with cls._touch_lock:
+            stamp = max(time.time_ns(), cls._last_touch_ns + 1)
+            cls._last_touch_ns = stamp
         try:
-            os.utime(path)
+            os.utime(path, ns=(stamp, stamp))
         except FileNotFoundError:
             pass  # evicted by a concurrent process between read and touch
 

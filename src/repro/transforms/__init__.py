@@ -27,6 +27,7 @@ from repro.transforms.binary import (
     synthesize_cnot_network_pmh,
 )
 from repro.transforms.clifford import (
+    cnot_sign_flip,
     conjugate_by_cnot_network,
     conjugate_pauli_by_cnot,
     conjugate_pauli_by_cnot_network,
@@ -54,6 +55,7 @@ __all__ = [
     "bravyi_kitaev",
     "parity_transform",
     "generalized_transform",
+    "cnot_sign_flip",
     "conjugate_by_cnot_network",
     "conjugate_pauli_by_cnot",
     "conjugate_pauli_by_cnot_network",

@@ -40,19 +40,30 @@ _CNOT_CONJUGATION = {
 }
 
 
+def cnot_sign_flip(x_c, z_c, x_t, z_t):
+    """Sign-flip indicator of CNOT conjugation on 0/1 component bits.
+
+    Evaluates ``x_c z_t (x_t ⊕ z_c ⊕ 1)`` — the ``(X,Z) → -YY`` /
+    ``(Y,Y) → -XZ`` rows of the conjugation table.  Pure bit arithmetic, so
+    it works identically on Python ints and on numpy 0/1 arrays; this is the
+    single normative implementation shared by :func:`_cnot_step` here and by
+    the bit-plane tableau engine in :mod:`repro.verify.tableau`.
+    """
+    return x_c & z_t & (x_t ^ z_c ^ 1)
+
+
 def _cnot_step(x: int, z: int, control: int, target: int) -> Tuple[int, int, int]:
     """One CNOT conjugation on packed masks: returns ``(sign, x', z')``.
 
-    Symplectic update ``x_t ^= x_c``, ``z_c ^= z_t``; the sign flips iff
-    ``x_c z_t (x_t ⊕ z_c ⊕ 1)`` — the ``(X,Z) → -YY`` / ``(Y,Y) → -XZ``
-    rows of the conjugation table.
+    Symplectic update ``x_t ^= x_c``, ``z_c ^= z_t``; the sign rule is the
+    shared :func:`cnot_sign_flip`.
     """
     if control == target:
         raise ValueError("CNOT control and target must differ")
     x_control = (x >> control) & 1
     z_target = (z >> target) & 1
     sign = 1
-    if x_control and z_target and not (((x >> target) ^ (z >> control)) & 1):
+    if cnot_sign_flip(x_control, (z >> control) & 1, (x >> target) & 1, z_target):
         sign = -1
     if x_control:
         x ^= 1 << target

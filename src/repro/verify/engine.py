@@ -1,0 +1,217 @@
+"""Equivalence-check dispatcher: pick the cheapest sufficient engine.
+
+Engines, from cheapest to most general:
+
+==========  ===============================  =======================  =========
+engine      circuit class                    verdict semantics        cost
+==========  ===============================  =======================  =========
+tableau     both circuits Clifford           exact both ways          O(g·n)
+dense       any pair with n ≤ ~10            exact both ways          O(4**n)
+pauli       any pair (rotation products)     accept exact,            O(g·n·m)
+                                             reject conservative
+sparse      shallow / low-entangling pairs   reject exact,            O(g·terms)
+                                             accept probabilistic
+==========  ===============================  =======================  =========
+
+Auto-dispatch order: register-size mismatch is an immediate exact ``False``;
+a Clifford pair goes to the tableau; a small register goes to the dense
+engine (complete, so no conservative verdicts where we can afford it);
+everything else is canonicalized by Pauli propagation, and on a conservative
+mismatch the sparse probe engine arbitrates — its rejection is exact, its
+acceptance probabilistic (reported with ``exact=False``).  If the sparse
+engine declares itself unsupported, the conservative Pauli verdict stands,
+flagged ``exact=False``.
+
+Force a specific engine with ``check_equivalence(a, b, engine="tableau")``
+(``"tableau" | "pauli" | "sparse" | "dense"``); the tableau engine raises
+:class:`~repro.verify.tableau.NotCliffordError` on non-Clifford input rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.pauli_exponential import exponential_sequence_circuit
+from repro.operators.pauli import PauliString
+from repro.verify.pauli_prop import (
+    forms_equivalent,
+    rotation_product_form,
+    sequence_rotation_form,
+)
+from repro.verify.sparse import EngineUnsupported, sparse_probe_equivalent
+from repro.verify.tableau import (
+    CLIFFORD_ANGLE_ATOL,
+    CliffordTableau,
+    is_clifford_circuit,
+)
+
+#: Largest register the auto-dispatcher hands to the dense O(4**n) engine.
+DENSE_QUBIT_LIMIT = 10
+
+_ENGINES = ("tableau", "dense", "pauli", "sparse")
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of an equivalence check, with provenance.
+
+    ``exact=True`` means the verdict is a proof (within numeric/angle
+    tolerance); ``exact=False`` marks a probabilistic acceptance or a
+    conservative rejection, as described by ``detail``.
+    """
+
+    equivalent: bool
+    engine: str
+    exact: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def classify_circuit(circuit: Circuit, atol: float = CLIFFORD_ANGLE_ATOL) -> str:
+    """``"clifford"`` or ``"rotation-product"`` (the repo's full gate set)."""
+    return "clifford" if is_clifford_circuit(circuit, atol) else "rotation-product"
+
+
+def _check_tableau(a: Circuit, b: Circuit, atol: float) -> EquivalenceReport:
+    equal = CliffordTableau.from_circuit(a, atol) == CliffordTableau.from_circuit(
+        b, atol
+    )
+    return EquivalenceReport(
+        equal, "tableau", True, "stabilizer tableaus compared row-for-row"
+    )
+
+
+def _check_dense(a: Circuit, b: Circuit, tolerance: float) -> EquivalenceReport:
+    equal = a.equals_up_to_global_phase(b, tolerance)
+    return EquivalenceReport(equal, "dense", True, "dense unitary comparison")
+
+
+def _check_pauli(a: Circuit, b: Circuit, atol: float) -> EquivalenceReport:
+    equal = forms_equivalent(rotation_product_form(a, atol), rotation_product_form(b, atol))
+    if equal:
+        return EquivalenceReport(
+            True, "pauli", True, "canonical rotation-product forms match"
+        )
+    return EquivalenceReport(
+        False,
+        "pauli",
+        False,
+        "canonical rotation-product forms differ (conservative)",
+    )
+
+
+def _check_sparse(
+    a: Circuit, b: Circuit, tolerance: float, seed: int
+) -> EquivalenceReport:
+    equal = sparse_probe_equivalent(a, b, seed=seed, tolerance=tolerance)
+    if equal:
+        return EquivalenceReport(
+            True, "sparse", False, "all seeded probes agree (probabilistic accept)"
+        )
+    return EquivalenceReport(False, "sparse", True, "a seeded probe disagrees")
+
+
+def check_equivalence(
+    circuit_a: Circuit,
+    circuit_b: Circuit,
+    engine: Optional[str] = None,
+    tolerance: float = 1e-8,
+    angle_atol: float = CLIFFORD_ANGLE_ATOL,
+    dense_qubit_limit: int = DENSE_QUBIT_LIMIT,
+    seed: int = 0x5EED,
+) -> EquivalenceReport:
+    """Decide up-to-global-phase equality, auto-dispatching by circuit class.
+
+    Pass ``engine`` to force one of ``"tableau"``, ``"dense"``, ``"pauli"``,
+    ``"sparse"`` instead of auto-dispatching.
+    """
+    if engine is not None and engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if circuit_a.n_qubits != circuit_b.n_qubits:
+        return EquivalenceReport(False, "dispatch", True, "register sizes differ")
+    if engine == "tableau":
+        return _check_tableau(circuit_a, circuit_b, angle_atol)
+    if engine == "dense":
+        return _check_dense(circuit_a, circuit_b, tolerance)
+    if engine == "pauli":
+        return _check_pauli(circuit_a, circuit_b, angle_atol)
+    if engine == "sparse":
+        return _check_sparse(circuit_a, circuit_b, tolerance, seed)
+
+    if is_clifford_circuit(circuit_a, angle_atol) and is_clifford_circuit(
+        circuit_b, angle_atol
+    ):
+        return _check_tableau(circuit_a, circuit_b, angle_atol)
+    if circuit_a.n_qubits <= dense_qubit_limit:
+        return _check_dense(circuit_a, circuit_b, tolerance)
+    report = _check_pauli(circuit_a, circuit_b, angle_atol)
+    if report.equivalent:
+        return report
+    try:
+        return _check_sparse(circuit_a, circuit_b, tolerance, seed)
+    except EngineUnsupported as exc:
+        return EquivalenceReport(
+            False,
+            "pauli",
+            False,
+            f"forms differ and sparse fallback unsupported ({exc})",
+        )
+
+
+def assert_equivalent(
+    circuit_a: Circuit, circuit_b: Circuit, **kwargs
+) -> EquivalenceReport:
+    """Raise ``AssertionError`` unless the circuits are (found) equivalent.
+
+    A conservative rejection also raises — in a test harness, "could not
+    prove equivalent" deserves investigation, and the report's ``detail``
+    says which engine gave up.  Returns the report on success so tests can
+    pin which engine decided.
+    """
+    report = check_equivalence(circuit_a, circuit_b, **kwargs)
+    if not report.equivalent:
+        raise AssertionError(
+            f"circuits are not equivalent up to global phase "
+            f"[engine={report.engine}, exact={report.exact}]: {report.detail}"
+        )
+    return report
+
+
+def assert_implements_rotations(
+    circuit: Circuit,
+    terms: Sequence[Tuple[PauliString, float]],
+    angle_atol: float = CLIFFORD_ANGLE_ATOL,
+    tolerance: float = 1e-8,
+    seed: int = 0x5EED,
+) -> EquivalenceReport:
+    """Assert a compiled circuit implements ``Π exp(-iθ_k/2 P_k)``.
+
+    The intended product (terms listed first-applied-first) is canonicalized
+    directly — no reference circuit, no statevector — and compared with the
+    circuit's own rotation-product form; a conservative mismatch falls back
+    to checking against a freshly synthesized reference circuit through the
+    normal dispatcher.
+    """
+    intended = sequence_rotation_form(terms, circuit.n_qubits, angle_atol)
+    actual = rotation_product_form(circuit, angle_atol)
+    if forms_equivalent(intended, actual):
+        return EquivalenceReport(
+            True, "pauli", True, "circuit matches intended rotation product"
+        )
+    reference = exponential_sequence_circuit(
+        [(string, angle, None) for string, angle in terms], circuit.n_qubits
+    )
+    report = check_equivalence(
+        circuit, reference, tolerance=tolerance, angle_atol=angle_atol, seed=seed
+    )
+    if not report.equivalent:
+        raise AssertionError(
+            f"circuit does not implement the intended rotation product "
+            f"[engine={report.engine}, exact={report.exact}]: {report.detail}"
+        )
+    return report

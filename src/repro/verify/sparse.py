@@ -1,0 +1,242 @@
+"""Seeded sparse-statevector probe engine for shallow non-Clifford circuits.
+
+The last rung of the verification ladder: when a circuit pair is neither
+Clifford (tableau engine) nor recognized as equivalent by Pauli-propagation
+canonicalization, the dispatcher probes both circuits with a handful of
+seeded two-term superpositions ``(|b₁⟩ + e^{iα}|b₂⟩)/√2`` and demands the
+outputs agree up to ONE joint global phase across all probes.
+
+States are stored sparsely — an ``int64`` array of computational-basis
+indices plus a matching complex amplitude array — so cost scales with the
+*support* of the state, not ``2**n``.  Diagonal and permutation gates
+(Z/S/T/RZ/X/Y/CNOT/CZ/SWAP) never grow the support; branching gates
+(H/RX/RY/SQRTX…) at most double it, with exact coalescing and pruning of
+cancelled branches.  A support budget (``max_terms``) keeps the engine
+honest: circuits that entangle too hard raise :class:`EngineUnsupported`
+instead of silently thrashing, and the dispatcher falls back to a
+conservative verdict.
+
+Verdict semantics: a probe *rejection* is exact (a genuine amplitude
+mismatch disproves equivalence up to global phase); an *acceptance* is
+probabilistic — different unitaries agreeing on every random probe is
+possible but has measure zero — so the dispatcher reports ``exact=False``
+for sparse accepts.
+
+Index convention matches ``Circuit.to_unitary``: qubit 0 is the most
+significant bit, so qubit ``q`` is bit ``n - 1 - q`` of the basis index.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+#: Default support budget; beyond this the engine declares itself unsupported.
+DEFAULT_MAX_TERMS = 4096
+
+#: Amplitudes below this magnitude are pruned after coalescing.
+_PRUNE_ATOL = 1e-12
+
+#: ``int64`` indices keep bit arithmetic exact up to this register size.
+_MAX_QUBITS = 62
+
+
+class EngineUnsupported(RuntimeError):
+    """The sparse engine cannot (cheaply) represent the requested evolution."""
+
+
+class SparseState:
+    """A statevector with explicit support: basis indices + amplitudes."""
+
+    __slots__ = ("n_qubits", "indices", "amplitudes", "max_terms")
+
+    def __init__(
+        self,
+        n_qubits: int,
+        indices: np.ndarray,
+        amplitudes: np.ndarray,
+        max_terms: int = DEFAULT_MAX_TERMS,
+    ):
+        if n_qubits > _MAX_QUBITS:
+            raise EngineUnsupported(
+                f"sparse engine indexes with int64; {n_qubits} qubits > {_MAX_QUBITS}"
+            )
+        self.n_qubits = int(n_qubits)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.amplitudes = np.asarray(amplitudes, dtype=complex)
+        self.max_terms = int(max_terms)
+
+    @classmethod
+    def superposition(
+        cls,
+        n_qubits: int,
+        basis_states: Tuple[int, ...],
+        amplitudes: Tuple[complex, ...],
+        max_terms: int = DEFAULT_MAX_TERMS,
+    ) -> "SparseState":
+        """Normalized superposition of explicit basis states."""
+        amps = np.asarray(amplitudes, dtype=complex)
+        amps = amps / np.linalg.norm(amps)
+        return cls(n_qubits, np.asarray(basis_states, dtype=np.int64), amps, max_terms)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.indices)
+
+    def _bit_mask(self, qubit: int) -> np.int64:
+        return np.int64(1) << np.int64(self.n_qubits - 1 - qubit)
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+    def apply_gate(self, gate: Gate) -> None:
+        name = gate.name
+        if name == "I":
+            return
+        if name == "CNOT":
+            control_set = (self.indices & self._bit_mask(gate.qubits[0])) != 0
+            self.indices = self.indices ^ np.where(
+                control_set, self._bit_mask(gate.qubits[1]), np.int64(0)
+            )
+            return
+        if name == "CZ":
+            both = (
+                ((self.indices & self._bit_mask(gate.qubits[0])) != 0)
+                & ((self.indices & self._bit_mask(gate.qubits[1])) != 0)
+            )
+            self.amplitudes = self.amplitudes * np.where(both, -1.0, 1.0)
+            return
+        if name == "SWAP":
+            mask_a = self._bit_mask(gate.qubits[0])
+            mask_b = self._bit_mask(gate.qubits[1])
+            differ = ((self.indices & mask_a) != 0) != ((self.indices & mask_b) != 0)
+            self.indices = self.indices ^ np.where(differ, mask_a | mask_b, np.int64(0))
+            return
+        # Single-qubit gates, classified structurally from the 2x2 matrix:
+        # diagonal and antidiagonal gates permute/phase the support in place,
+        # anything else branches (and the branches are coalesced).
+        matrix = gate.matrix()
+        mask = self._bit_mask(gate.qubits[0])
+        bit = ((self.indices & mask) != 0).astype(np.intp)
+        if matrix[0, 1] == 0 and matrix[1, 0] == 0:
+            self.amplitudes = self.amplitudes * np.take(np.diagonal(matrix), bit)
+            return
+        if matrix[0, 0] == 0 and matrix[1, 1] == 0:
+            # |v> -> M[1-v, v] |1-v>
+            factors = np.take(np.array([matrix[1, 0], matrix[0, 1]]), bit)
+            self.amplitudes = self.amplitudes * factors
+            self.indices = self.indices ^ mask
+            return
+        self._apply_branching(matrix, mask, bit)
+
+    def _apply_branching(
+        self, matrix: np.ndarray, mask: np.int64, bit: np.ndarray
+    ) -> None:
+        row0 = np.take(matrix[0], bit)
+        row1 = np.take(matrix[1], bit)
+        new_indices = np.concatenate([self.indices & ~mask, self.indices | mask])
+        new_amplitudes = np.concatenate(
+            [self.amplitudes * row0, self.amplitudes * row1]
+        )
+        unique, inverse = np.unique(new_indices, return_inverse=True)
+        coalesced = np.zeros(len(unique), dtype=complex)
+        np.add.at(coalesced, inverse, new_amplitudes)
+        keep = np.abs(coalesced) > _PRUNE_ATOL
+        self.indices = unique[keep]
+        self.amplitudes = coalesced[keep]
+        if len(self.indices) > self.max_terms:
+            raise EngineUnsupported(
+                f"sparse support exceeded budget ({len(self.indices)} > "
+                f"{self.max_terms} terms)"
+            )
+
+    def apply_circuit(self, circuit: Circuit) -> "SparseState":
+        if circuit.n_qubits != self.n_qubits:
+            raise ValueError("circuit register size does not match state")
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self
+
+    # ------------------------------------------------------------------
+    # Export / comparison helpers
+    # ------------------------------------------------------------------
+    def to_statevector(self) -> np.ndarray:
+        """Dense statevector (small-n validation only)."""
+        if self.n_qubits > 24:
+            raise EngineUnsupported("refusing to densify a >24-qubit sparse state")
+        dense = np.zeros(2 ** self.n_qubits, dtype=complex)
+        np.add.at(dense, self.indices, self.amplitudes)
+        return dense
+
+    def __repr__(self) -> str:
+        return f"SparseState(n_qubits={self.n_qubits}, n_terms={self.n_terms})"
+
+
+def _probe_state(
+    n_qubits: int, rng: np.random.Generator, max_terms: int
+) -> SparseState:
+    """A seeded two-term superposition ``(|b₁⟩ + e^{iα}|b₂⟩)/√2``."""
+    dim = 1 << n_qubits
+    b1 = int(rng.integers(0, dim))
+    b2 = int(rng.integers(0, dim))
+    while b2 == b1:
+        b2 = int(rng.integers(0, dim))
+    alpha = float(rng.uniform(0.0, 2.0 * math.pi))
+    return SparseState.superposition(
+        n_qubits, (b1, b2), (1.0, complex(math.cos(alpha), math.sin(alpha))), max_terms
+    )
+
+
+def _aligned_vectors(
+    out_a: SparseState, out_b: SparseState
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Amplitudes of both outputs on the union of their supports."""
+    union = np.union1d(out_a.indices, out_b.indices)
+    va = np.zeros(len(union), dtype=complex)
+    vb = np.zeros(len(union), dtype=complex)
+    va[np.searchsorted(union, out_a.indices)] = out_a.amplitudes
+    vb[np.searchsorted(union, out_b.indices)] = out_b.amplitudes
+    return va, vb
+
+
+def sparse_probe_equivalent(
+    circuit_a: Circuit,
+    circuit_b: Circuit,
+    n_probes: int = 4,
+    seed: int = 0x5EED,
+    max_terms: int = DEFAULT_MAX_TERMS,
+    tolerance: float = 1e-8,
+) -> bool:
+    """Probe two circuits for equality up to one joint global phase.
+
+    ``False`` is an exact disproof of equivalence (within ``tolerance``);
+    ``True`` is probabilistic.  Raises :class:`EngineUnsupported` when a
+    probe's support outgrows ``max_terms`` or the register exceeds the
+    ``int64`` index range.
+    """
+    if circuit_a.n_qubits != circuit_b.n_qubits:
+        return False
+    rng = np.random.default_rng(seed)
+    joint_phase: Optional[complex] = None
+    for _ in range(n_probes):
+        probe = _probe_state(circuit_a.n_qubits, rng, max_terms)
+        out_a = SparseState(
+            probe.n_qubits, probe.indices.copy(), probe.amplitudes.copy(), max_terms
+        ).apply_circuit(circuit_a)
+        out_b = probe.apply_circuit(circuit_b)
+        va, vb = _aligned_vectors(out_a, out_b)
+        if joint_phase is None:
+            anchor = int(np.argmax(np.abs(va)))
+            if abs(va[anchor]) <= tolerance:  # pragma: no cover - norm is 1
+                return False
+            joint_phase = vb[anchor] / va[anchor]
+            if abs(abs(joint_phase) - 1.0) > max(tolerance, 1e-6):
+                return False
+        if np.max(np.abs(vb - joint_phase * va)) > max(tolerance, 1e-9):
+            return False
+    return True

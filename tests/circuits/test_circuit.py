@@ -152,3 +152,60 @@ class TestUnitary:
         circuit = bell_circuit()
         assert "cnots=1" in repr(circuit)
         assert "CNOT" in circuit.summary()
+
+
+class TestGlobalPhaseProbe:
+    """Regression tests: the random-probe pre-check must stay decisive.
+
+    The original threshold ``dim * tolerance + 1e-9`` exceeds the largest
+    deviation a unit probe can ever show (1.0) once ``dim * tolerance`` is
+    large — e.g. n >= ~27 at the default tolerance, or much earlier with a
+    loose tolerance — making the pre-check vacuous and sending every
+    comparison to the O(4**n) dense path.
+    """
+
+    def _distinct_pair(self, n=6):
+        a = Circuit(n, [hadamard(0), cnot(0, n - 1), rz(n - 1, 0.7)])
+        b = Circuit(n, [hadamard(0), cnot(0, n - 1), rz(n - 1, 2.3), Gate("X", (1,))])
+        return a, b
+
+    def test_probe_rejects_without_dense_engine(self, monkeypatch):
+        # tolerance=0.05 at n=6 puts the uncapped threshold at 3.2 — vacuous.
+        # With the cap, the probe path alone must reject; the dense engine is
+        # booby-trapped to prove it is never consulted.
+        a, b = self._distinct_pair()
+
+        def boom(self):
+            raise AssertionError("dense engine must not run for probe-rejectable pairs")
+
+        monkeypatch.setattr(Circuit, "to_unitary", boom)
+        assert a.equals_up_to_global_phase(b, tolerance=0.05) is False
+
+    def test_probe_rejects_at_default_tolerance_without_dense(self, monkeypatch):
+        a, b = self._distinct_pair()
+
+        def boom(self):
+            raise AssertionError("dense engine must not run for probe-rejectable pairs")
+
+        monkeypatch.setattr(Circuit, "to_unitary", boom)
+        assert a.equals_up_to_global_phase(b) is False
+
+    def test_equal_pairs_still_pass_probes(self):
+        # Probes must not false-reject genuinely equivalent pairs, even with
+        # the loose tolerance that previously triggered the vacuous branch.
+        a = Circuit(6, [Gate("T", (3,)), cnot(3, 4)])
+        b = Circuit(6, [rz(3, np.pi / 4), cnot(3, 4)])  # differs by global phase
+        assert a.equals_up_to_global_phase(b)
+        assert a.equals_up_to_global_phase(b, tolerance=0.05)
+
+    def test_probe_seeds_are_independent(self):
+        from repro.circuits.circuit import _PROBE_SEEDS
+
+        assert len(_PROBE_SEEDS) >= 3
+        assert len(set(_PROBE_SEEDS)) == len(_PROBE_SEEDS)
+
+    def test_threshold_is_capped(self):
+        from repro.circuits.circuit import _PROBE_DEVIATION_CAP
+
+        # The cap must sit strictly below the maximum possible deviation.
+        assert 0 < _PROBE_DEVIATION_CAP < 1.0

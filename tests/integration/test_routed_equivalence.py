@@ -8,7 +8,14 @@ keeps the identity permutation, so the comparison is direct).  Compression is
 disabled so the full flow is synthesized.  A SABRE cross-check routes the
 naive all-to-all circuit and verifies equivalence up to the reported
 permutation.
+
+Equivalence goes through :func:`repro.verify.assert_equivalent`: the H2
+cases land on the dense engine (n = 4), while the large-register cases run
+the same routed-vs-unrouted contract at 20-32 qubits on the Pauli-propagation
+engine — registers where the dense comparison is physically impossible.
 """
+
+import random
 
 import numpy as np
 import pytest
@@ -18,11 +25,13 @@ from repro.baselines import naive_rotation_sequence
 from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
 from repro.circuits import Circuit, exponential_sequence_circuit, optimize_circuit
 from repro.hardware import Topology, route_circuit, routed_exponential_sequence_circuit
+from repro.operators import PauliString
 from repro.transforms import (
     BravyiKitaevTransform,
     JordanWignerTransform,
     LinearEncodingTransform,
 )
+from repro.verify import assert_equivalent
 from repro.vqe import hmp2_ranked_terms
 
 TOPOLOGIES = [Topology.line(4), Topology.ring(4), Topology.grid(2, 2)]
@@ -80,7 +89,8 @@ def test_routed_h2_is_legal_and_equivalent(backend_name, topology, h2_terms):
         if gate.is_two_qubit:
             assert topology.is_edge(*gate.qubits), f"{gate} off {topology.name}"
 
-    assert routed.equals_up_to_global_phase(unrouted)
+    report = assert_equivalent(routed, unrouted)
+    assert report.exact  # n=4 dispatches to the dense engine: a proof
 
     # The reported metrics describe exactly this executable circuit.
     metrics = result.routing
@@ -100,7 +110,7 @@ def test_sabre_routed_h2_equivalent_up_to_permutation(topology, h2_terms):
         if gate.is_two_qubit:
             assert topology.is_edge(*gate.qubits)
     undone = routed.circuit.compose(routed.undo_permutation_circuit())
-    assert undone.equals_up_to_global_phase(unrouted)
+    assert_equivalent(undone, unrouted)
 
 
 @pytest.mark.parametrize("backend_name", BACKENDS)
@@ -124,3 +134,65 @@ def test_steered_beats_or_matches_sabre_on_line(h2_terms):
     unrouted = exponential_sequence_circuit(sequence, n_qubits=4)
     sabre = route_circuit(optimize_circuit(unrouted), line, seed=0)
     assert steered_cnots <= sabre.metrics().cnot_count
+
+
+# ----------------------------------------------------------------------
+# Large registers: the same contracts where dense simulation cannot go
+# ----------------------------------------------------------------------
+def random_rotation_sequence(n_qubits, n_terms, seed, max_weight=5):
+    """Random ``(P, θ, target)`` rotation terms with bounded support."""
+    rng = random.Random(seed)
+    sequence = []
+    for _ in range(n_terms):
+        support = rng.sample(range(n_qubits), rng.randrange(2, max_weight + 1))
+        labels = {q: rng.choice("XYZ") for q in support}
+        sequence.append(
+            (PauliString.from_dict(n_qubits, labels), rng.uniform(-2.0, 2.0), None)
+        )
+    return sequence
+
+
+@pytest.mark.parametrize(
+    "topology",
+    [Topology.line(20), Topology.ring(24), Topology.grid(4, 8)],
+    ids=lambda t: t.name,
+)
+def test_steered_routing_equivalent_at_scale(topology):
+    """Routed == unrouted at 20-32 qubits, decided by the Pauli engine."""
+    n = topology.n_qubits
+    sequence = random_rotation_sequence(n, 10, seed=n)
+    unrouted = exponential_sequence_circuit(sequence, n_qubits=n)
+    routed = optimize_circuit(routed_exponential_sequence_circuit(sequence, topology))
+    for gate in routed:
+        if gate.is_two_qubit:
+            assert topology.is_edge(*gate.qubits), f"{gate} off {topology.name}"
+    report = assert_equivalent(routed, unrouted)
+    assert report.engine == "pauli"  # the scalable engine, not dense
+    assert report.exact
+
+
+def test_sabre_routing_equivalent_at_scale():
+    """SABRE + permutation undo at 20 qubits, decided by the Pauli engine."""
+    n = 20
+    sequence = random_rotation_sequence(n, 8, seed=99)
+    unrouted = exponential_sequence_circuit(sequence, n_qubits=n)
+    routed = route_circuit(optimize_circuit(unrouted), Topology.line(n), seed=0)
+    for gate in routed.circuit:
+        if gate.is_two_qubit:
+            assert Topology.line(n).is_edge(*gate.qubits)
+    undone = routed.circuit.compose(routed.undo_permutation_circuit())
+    report = assert_equivalent(undone, unrouted)
+    assert report.engine == "pauli"
+    assert report.exact
+
+
+def test_optimizer_preserves_unitary_at_scale():
+    """The peephole optimizer is equivalence-checked at 32 qubits."""
+    n = 32
+    sequence = random_rotation_sequence(n, 12, seed=7)
+    circuit = exponential_sequence_circuit(sequence, n_qubits=n)
+    optimized = optimize_circuit(circuit.copy())
+    assert optimized.cnot_count <= circuit.cnot_count
+    report = assert_equivalent(circuit, optimized)
+    assert report.engine == "pauli"
+    assert report.exact

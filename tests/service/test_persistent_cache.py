@@ -168,6 +168,42 @@ class TestEviction:
             cache.put(make_key(index), make_result())
         assert len(cache) == 5 and cache.evictions == 0
 
+    def test_same_second_hits_still_reorder_eviction(self, tmp_path, monkeypatch):
+        """Regression: recency must survive a coarse (frozen) clock.
+
+        With ``os.utime(path)`` stamping wall-clock mtimes, two hits inside
+        the same clock tick (or on a filesystem with 1 s mtime granularity)
+        tie in the eviction sort and a hot entry can be dropped.  The touch
+        path must hand out strictly increasing nanosecond stamps even when
+        ``time.time_ns`` never advances.
+        """
+        import repro.service.cache as cache_module
+
+        cache = PersistentCompileCache(tmp_path, max_entries=2)
+        key_a, key_b, key_c = make_key(0), make_key(1), make_key(2)
+        cache.put(key_a, make_result(0))
+        cache.put(key_b, make_result(1))
+
+        # Freeze the clock and flatten every existing mtime onto one tick,
+        # simulating same-second granularity.
+        frozen_ns = time.time_ns()
+        monkeypatch.setattr(cache_module.time, "time_ns", lambda: frozen_ns)
+        for key in (key_a, key_b):
+            os.utime(cache.entry_path(key), ns=(frozen_ns, frozen_ns))
+
+        # Hit B then A within the frozen tick: A must end up newest.
+        assert cache.get(key_b) is not None
+        assert cache.get(key_a) is not None
+        mtime_a = cache.entry_path(key_a).stat().st_mtime_ns
+        mtime_b = cache.entry_path(key_b).stat().st_mtime_ns
+        assert mtime_a > mtime_b  # strictly increasing despite the frozen clock
+
+        cache.put(key_c, make_result(2))
+        assert cache.evictions == 1
+        assert cache.peek(key_b) is None  # the older hit went
+        assert cache.peek(key_a) is not None  # the hot entry survived
+        assert cache.peek(key_c) is not None
+
 
 class TestAdmin:
     def test_stats_reports_shards_and_sizes(self, tmp_path):

@@ -1,0 +1,164 @@
+"""Tests for the equivalence-check dispatcher and assertion helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, cnot, hadamard, rx, rz
+from repro.operators import PauliString
+from repro.verify import (
+    EquivalenceReport,
+    assert_equivalent,
+    assert_implements_rotations,
+    check_equivalence,
+    classify_circuit,
+)
+
+
+def _euler_xzx(a, b, c):
+    """Angles (α, β, γ) with RX(α)RZ(β)RX(γ) = RZ(a)RX(b)RZ(c) up to phase.
+
+    Conjugating by H swaps the X and Z axes, so the XZX angles of V are the
+    ZXZ angles of H V H, extracted from the standard SU(2) parametrization.
+    """
+    def mat(name, angle):
+        return Gate(name, (0,), angle).matrix()
+
+    v = mat("RZ", a) @ mat("RX", b) @ mat("RZ", c)
+    h = Gate("H", (0,)).matrix()
+    w = h @ v @ h
+    w = w * np.exp(-0.5j * np.angle(np.linalg.det(w)))  # project into SU(2)
+    beta = 2.0 * math.atan2(abs(w[1, 0]), abs(w[0, 0]))
+    alpha_plus = -2.0 * np.angle(w[0, 0])
+    alpha_minus = 2.0 * (np.angle(w[1, 0]) + math.pi / 2)
+    alpha = (alpha_plus + alpha_minus) / 2.0
+    gamma = (alpha_plus - alpha_minus) / 2.0
+    return alpha, beta, gamma
+
+
+def _euler_pair(n, a=0.3, b=0.7, c=1.1):
+    """Two circuits for the same 1-qubit unitary via different Euler axes."""
+    alpha, beta, gamma = _euler_xzx(a, b, c)
+    zxz = Circuit(n, [rz(0, c), rx(0, b), rz(0, a)])
+    xzx = Circuit(n, [rx(0, gamma), rz(0, beta), rx(0, alpha)])
+    return zxz, xzx
+
+
+class TestClassification:
+    def test_clifford_vs_rotation_product(self):
+        assert classify_circuit(Circuit(2, [hadamard(0), cnot(0, 1)])) == "clifford"
+        assert classify_circuit(Circuit(1, [rz(0, 0.3)])) == "rotation-product"
+
+
+class TestDispatch:
+    def test_register_mismatch_is_exact_false(self):
+        report = check_equivalence(Circuit(2), Circuit(3))
+        assert not report.equivalent
+        assert report.engine == "dispatch"
+        assert report.exact
+
+    def test_clifford_pair_uses_tableau(self):
+        a = Circuit(12, [hadamard(0), cnot(0, 11), rz(11, math.pi / 2)])
+        report = check_equivalence(a, a.copy())
+        assert report.equivalent and report.engine == "tableau" and report.exact
+
+    def test_small_register_uses_dense(self):
+        a = Circuit(3, [rz(0, 0.3), hadamard(1)])
+        report = check_equivalence(a, a.copy())
+        assert report.equivalent and report.engine == "dense" and report.exact
+
+    def test_large_register_uses_pauli(self):
+        a = Circuit(20, [rz(7, 0.3), cnot(7, 13)])
+        report = check_equivalence(a, a.copy())
+        assert report.equivalent and report.engine == "pauli" and report.exact
+
+    def test_pauli_reject_arbitrated_by_sparse_probes(self):
+        # Same unitary through genuinely different rotation axes: the
+        # canonical forms differ (conservative), the probes settle it.
+        zxz, xzx = _euler_pair(12)
+        report = check_equivalence(zxz, xzx)
+        assert report.equivalent
+        assert report.engine == "sparse"
+        assert not report.exact  # probabilistic accept
+
+    def test_sparse_reject_is_exact(self):
+        a = Circuit(12, [rz(0, 0.3)])
+        b = Circuit(12, [rz(0, 0.3), rx(0, 0.8)])
+        report = check_equivalence(a, b)
+        assert not report.equivalent
+        assert report.engine == "sparse"
+        assert report.exact
+
+    def test_sparse_unsupported_keeps_conservative_pauli_verdict(self):
+        # Full-register Hadamards blow the sparse support budget, so the
+        # conservative Pauli rejection stands, flagged non-exact.
+        n = 13
+        base = [hadamard(q) for q in range(n)]
+        a = Circuit(n, base + [Gate("T", (0,))])
+        b = Circuit(n, base + [Gate("TDG", (0,))])
+        report = check_equivalence(a, b)
+        assert not report.equivalent
+        assert report.engine == "pauli"
+        assert not report.exact
+        assert "unsupported" in report.detail
+
+    def test_dense_limit_is_tunable(self):
+        a = Circuit(3, [rz(0, 0.3)])
+        report = check_equivalence(a, a.copy(), dense_qubit_limit=0)
+        assert report.engine == "pauli"
+
+
+class TestForcedEngines:
+    def test_forcing_each_engine(self):
+        a = Circuit(2, [hadamard(0), cnot(0, 1)])
+        for engine in ("tableau", "dense", "pauli", "sparse"):
+            report = check_equivalence(a, a.copy(), engine=engine)
+            assert report.equivalent
+            assert report.engine == engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            check_equivalence(Circuit(1), Circuit(1), engine="quantum")
+
+
+class TestAssertions:
+    def test_assert_equivalent_returns_report(self):
+        a = Circuit(2, [hadamard(0), cnot(0, 1)])
+        report = assert_equivalent(a, a.copy())
+        assert isinstance(report, EquivalenceReport)
+        assert bool(report)
+
+    def test_assert_equivalent_raises_with_engine_detail(self):
+        a = Circuit(2, [hadamard(0)])
+        b = Circuit(2, [hadamard(1)])
+        with pytest.raises(AssertionError, match="engine=tableau"):
+            assert_equivalent(a, b)
+
+    def test_assert_implements_rotations_direct_match(self):
+        n = 16
+        terms = [(PauliString.from_dict(n, {2: "X", 9: "Z"}), 0.6)]
+        circuit = Circuit(n, [hadamard(2), cnot(2, 9), rz(9, 0.6), cnot(2, 9), hadamard(2)])
+        report = assert_implements_rotations(circuit, terms)
+        assert report.engine == "pauli" and report.exact
+
+    def test_assert_implements_rotations_fallback_to_reference(self):
+        # An Euler-rotated implementation: the form differs from the intended
+        # product, so the check falls back to a synthesized reference circuit.
+        a, b, c = 0.3, 0.7, 1.1
+        _, xzx = _euler_pair(3, a, b, c)
+        terms = [
+            (PauliString.from_dict(3, {0: "Z"}), c),
+            (PauliString.from_dict(3, {0: "X"}), b),
+            (PauliString.from_dict(3, {0: "Z"}), a),
+        ]
+        report = assert_implements_rotations(xzx, terms)
+        assert report.equivalent
+
+    def test_assert_implements_rotations_detects_mismatch(self):
+        n = 3
+        terms = [(PauliString("XYZ"), 0.4)]
+        wrong = Circuit(n, [rz(0, 0.4)])
+        with pytest.raises(AssertionError, match="rotation product"):
+            assert_implements_rotations(wrong, terms)

@@ -1,0 +1,193 @@
+"""Unit tests for Pauli-propagation rotation-product canonicalization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, cnot, hadamard, rx, ry, rz, s_gate, sdg_gate
+from repro.circuits.optimizer import optimize_circuit
+from repro.circuits.pauli_exponential import exponential_sequence_circuit
+from repro.operators import PauliString
+from repro.verify import (
+    PauliRotation,
+    forms_equivalent,
+    rotation_product_form,
+    sequence_rotation_form,
+)
+
+
+class TestFactorization:
+    def test_clifford_only_circuit_has_no_rotations(self):
+        circuit = Circuit(2, [hadamard(0), cnot(0, 1), rz(1, math.pi / 2)])
+        form = rotation_product_form(circuit)
+        assert form.rotations == ()
+
+    def test_single_rotation_axes(self):
+        for gate, x, z in [
+            (rz(1, 0.3), 0, 2),
+            (rx(1, 0.3), 2, 0),
+            (ry(1, 0.3), 2, 2),
+        ]:
+            form = rotation_product_form(Circuit(2, [gate]))
+            assert form.rotations == (PauliRotation(x, z, 0.3),)
+
+    def test_t_gate_is_quarter_z_rotation(self):
+        form_t = rotation_product_form(Circuit(1, [Gate("T", (0,))]))
+        form_rz = rotation_product_form(Circuit(1, [rz(0, math.pi / 4)]))
+        assert forms_equivalent(form_t, form_rz)
+        form_tdg = rotation_product_form(Circuit(1, [Gate("TDG", (0,))]))
+        assert not forms_equivalent(form_t, form_tdg)
+
+    def test_clifford_frame_propagates_axis(self):
+        # H RZ(θ) H = RX(θ): suffix H conjugates the Z axis into X.
+        a = Circuit(1, [hadamard(0), rz(0, 0.4), hadamard(0)])
+        b = Circuit(1, [rx(0, 0.4)])
+        assert forms_equivalent(rotation_product_form(a), rotation_product_form(b))
+
+    def test_ry_conjugation_identity(self):
+        # S RX(θ) S† = RY(θ), as circuits [SDG, RX, S].
+        a = Circuit(1, [sdg_gate(0), rx(0, 0.9), s_gate(0)])
+        b = Circuit(1, [ry(0, 0.9)])
+        assert forms_equivalent(rotation_product_form(a), rotation_product_form(b))
+
+    def test_cnot_frame_grows_support(self):
+        # CNOT(0,1) RZ(1,θ) CNOT(0,1) = exp(-iθ/2 Z0 Z1).
+        a = Circuit(2, [cnot(0, 1), rz(1, 0.5), cnot(0, 1)])
+        form = rotation_product_form(a)
+        assert form.rotations == (PauliRotation(0, 0b11, 0.5),)
+
+
+class TestCanonicalization:
+    def test_angle_two_pi_shift(self):
+        a = rotation_product_form(Circuit(1, [rz(0, 0.3)]))
+        b = rotation_product_form(Circuit(1, [rz(0, 0.3 + 4 * math.pi)]))
+        assert forms_equivalent(a, b)
+
+    def test_near_zero_rotation_dropped(self):
+        form = rotation_product_form(Circuit(1, [rz(0, 1e-12)]))
+        assert form.rotations == ()
+
+    def test_merge_across_commuting_gap(self):
+        # Two RZ(0) merged across a commuting RZ(1) rotation in between.
+        a = Circuit(2, [rz(0, 0.2), rz(1, 0.7), rz(0, 0.3)])
+        b = Circuit(2, [rz(0, 0.5), rz(1, 0.7)])
+        assert forms_equivalent(rotation_product_form(a), rotation_product_form(b))
+
+    def test_merged_angles_cancel(self):
+        a = Circuit(1, [rx(0, 0.4), rx(0, -0.4)])
+        assert rotation_product_form(a).rotations == ()
+
+    def test_merged_angle_hits_clifford_multiple(self):
+        # 0.3 + (π/2 - 0.3) = π/2: the merged rotation folds into the frame.
+        a = Circuit(1, [rz(0, 0.3), rz(0, math.pi / 2 - 0.3)])
+        b = Circuit(1, [s_gate(0)])
+        assert forms_equivalent(rotation_product_form(a), rotation_product_form(b))
+
+    def test_commuting_reorder_is_canonical(self):
+        a = Circuit(2, [rz(0, 0.2), rz(1, 0.9)])
+        b = Circuit(2, [rz(1, 0.9), rz(0, 0.2)])
+        assert forms_equivalent(rotation_product_form(a), rotation_product_form(b))
+
+    def test_non_commuting_order_preserved(self):
+        a = Circuit(1, [rz(0, 0.2), rx(0, 0.9)])
+        b = Circuit(1, [rx(0, 0.9), rz(0, 0.2)])
+        assert not forms_equivalent(rotation_product_form(a), rotation_product_form(b))
+
+    def test_fold_conjugates_earlier_rotations(self):
+        # RZ(π/2) RX(θ) RZ(-π/2) = RY(θ): the two Clifford-angle Z rotations
+        # fold away, conjugating the X rotation into a Y rotation.
+        a = Circuit(1, [rz(0, -math.pi / 2), rx(0, 0.6), rz(0, math.pi / 2)])
+        b = Circuit(1, [ry(0, 0.6)])
+        assert forms_equivalent(rotation_product_form(a), rotation_product_form(b))
+
+    def test_angle_mismatch_detected(self):
+        a = rotation_product_form(Circuit(1, [rz(0, 0.3)]))
+        b = rotation_product_form(Circuit(1, [rz(0, 0.30001)]))
+        assert not forms_equivalent(a, b)
+
+    def test_frame_mismatch_detected(self):
+        a = rotation_product_form(Circuit(1, [rz(0, 0.3), hadamard(0)]))
+        b = rotation_product_form(Circuit(1, [rz(0, 0.3)]))
+        assert not forms_equivalent(a, b)
+
+    def test_register_mismatch_detected(self):
+        a = rotation_product_form(Circuit(1, [rz(0, 0.3)]))
+        b = rotation_product_form(Circuit(2, [rz(0, 0.3)]))
+        assert not forms_equivalent(a, b)
+
+
+class TestSequenceForm:
+    def test_matches_synthesized_circuit(self):
+        n = 5
+        terms = [
+            (PauliString("XYZII"), 0.7),
+            (PauliString("IIZZX"), -0.4),
+            (PauliString("YIXIY"), 1.3),
+        ]
+        circuit = exponential_sequence_circuit([(p, a, None) for p, a in terms], n)
+        assert forms_equivalent(
+            sequence_rotation_form(terms, n), rotation_product_form(circuit)
+        )
+
+    def test_detects_wrong_angle(self):
+        n = 3
+        terms = [(PauliString("XYZ"), 0.7)]
+        circuit = exponential_sequence_circuit([(PauliString("XYZ"), 0.8, None)], n)
+        assert not forms_equivalent(
+            sequence_rotation_form(terms, n), rotation_product_form(circuit)
+        )
+
+    def test_identity_terms_are_global_phase(self):
+        n = 2
+        terms = [(PauliString("II"), 0.5), (PauliString("XX"), 0.3)]
+        reduced = [(PauliString("XX"), 0.3)]
+        assert forms_equivalent(
+            sequence_rotation_form(terms, n), sequence_rotation_form(reduced, n)
+        )
+
+
+class TestDifferentialAgainstDense:
+    """Small-n: the canonical-form verdict must agree with dense comparison."""
+
+    def _random_circuit(self, n, depth, rng):
+        names_1q = ["H", "S", "SDG", "X", "Y", "Z", "SQRTX", "SQRTXDG", "T", "TDG"]
+        circuit = Circuit(n)
+        for _ in range(depth):
+            u = rng.random()
+            if u < 0.35 and n >= 2:
+                a, b = rng.choice(n, size=2, replace=False)
+                circuit.append(Gate(str(rng.choice(["CNOT", "CZ", "SWAP"])), (int(a), int(b))))
+            elif u < 0.7:
+                circuit.append(
+                    Gate(
+                        str(rng.choice(["RZ", "RX", "RY"])),
+                        (int(rng.integers(n)),),
+                        float(rng.uniform(-3, 3)),
+                    )
+                )
+            else:
+                circuit.append(Gate(str(rng.choice(names_1q)), (int(rng.integers(n)),)))
+        return circuit
+
+    def test_optimizer_outputs_recognized(self):
+        rng = np.random.default_rng(3)
+        for trial in range(20):
+            n = int(rng.integers(2, 5))
+            circuit = self._random_circuit(n, 12, rng)
+            optimized = optimize_circuit(circuit.copy())
+            assert circuit.equals_up_to_global_phase(optimized)
+            assert forms_equivalent(
+                rotation_product_form(circuit), rotation_product_form(optimized)
+            )
+
+    def test_soundness_on_random_pairs(self):
+        # A True verdict must never contradict the dense engine.
+        rng = np.random.default_rng(4)
+        for trial in range(20):
+            n = int(rng.integers(2, 5))
+            a = self._random_circuit(n, 10, rng)
+            b = self._random_circuit(n, 10, rng)
+            if forms_equivalent(rotation_product_form(a), rotation_product_form(b)):
+                assert a.equals_up_to_global_phase(b)

@@ -1,0 +1,164 @@
+"""Unit tests for the sparse-statevector probe engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, cnot, hadamard, rx, ry, rz
+from repro.verify import EngineUnsupported, SparseState, sparse_probe_equivalent
+
+ALL_GATE_SAMPLES = [
+    Gate("I", (0,)),
+    Gate("X", (1,)),
+    Gate("Y", (0,)),
+    Gate("Z", (2,)),
+    Gate("H", (1,)),
+    Gate("S", (0,)),
+    Gate("SDG", (2,)),
+    Gate("T", (1,)),
+    Gate("TDG", (0,)),
+    Gate("SQRTX", (2,)),
+    Gate("SQRTXDG", (1,)),
+    Gate("RZ", (0,), 0.37),
+    Gate("RX", (1,), -1.2),
+    Gate("RY", (2,), 2.4),
+    Gate("CNOT", (0, 2)),
+    Gate("CNOT", (2, 1)),
+    Gate("CZ", (1, 2)),
+    Gate("SWAP", (0, 2)),
+]
+
+
+def dense_state(sparse):
+    return sparse.to_statevector()
+
+
+class TestGateSemantics:
+    """Every gate must act exactly like the dense tensor engine."""
+
+    @pytest.mark.parametrize("gate", ALL_GATE_SAMPLES, ids=repr)
+    def test_gate_matches_dense_engine(self, gate):
+        n = 3
+        rng = np.random.default_rng(hash(gate.name) % 2**31)
+        # A random 3-term sparse state exercises coalescing paths.
+        indices = rng.choice(2**n, size=3, replace=False).astype(np.int64)
+        amplitudes = rng.normal(size=3) + 1j * rng.normal(size=3)
+        amplitudes /= np.linalg.norm(amplitudes)
+        state = SparseState(n, indices.copy(), amplitudes.copy())
+        state.apply_gate(gate)
+
+        dense = np.zeros(2**n, dtype=complex)
+        dense[indices] = amplitudes
+        expected = Circuit(n, [gate]).apply_to_statevector(dense)
+        assert np.allclose(dense_state(state), expected, atol=1e-12)
+
+    def test_circuit_application_matches_dense(self):
+        n = 4
+        circuit = Circuit(
+            n,
+            [
+                hadamard(0),
+                cnot(0, 2),
+                rz(2, 0.8),
+                Gate("T", (1,)),
+                ry(3, 1.1),
+                Gate("CZ", (1, 3)),
+                cnot(2, 1),
+                rx(0, -0.5),
+            ],
+        )
+        state = SparseState(n, np.array([3], dtype=np.int64), np.array([1.0 + 0j]))
+        state.apply_circuit(circuit)
+        dense = np.zeros(2**n, dtype=complex)
+        dense[3] = 1.0
+        assert np.allclose(dense_state(state), circuit.apply_to_statevector(dense))
+
+    def test_hadamard_pair_shrinks_support(self):
+        state = SparseState(2, np.array([0], dtype=np.int64), np.array([1.0 + 0j]))
+        state.apply_gate(hadamard(0))
+        assert state.n_terms == 2
+        state.apply_gate(hadamard(0))
+        assert state.n_terms == 1  # cancelled branch pruned
+
+    def test_register_mismatch(self):
+        state = SparseState(2, np.array([0], dtype=np.int64), np.array([1.0 + 0j]))
+        with pytest.raises(ValueError):
+            state.apply_circuit(Circuit(3, [hadamard(0)]))
+
+
+class TestBudgets:
+    def test_support_budget_enforced(self):
+        n = 6
+        state = SparseState(
+            n, np.array([0], dtype=np.int64), np.array([1.0 + 0j]), max_terms=8
+        )
+        circuit = Circuit(n, [hadamard(q) for q in range(n)])
+        with pytest.raises(EngineUnsupported):
+            state.apply_circuit(circuit)
+
+    def test_register_size_budget(self):
+        with pytest.raises(EngineUnsupported):
+            SparseState(70, np.array([0], dtype=np.int64), np.array([1.0 + 0j]))
+
+    def test_densify_guard(self):
+        state = SparseState(30, np.array([0], dtype=np.int64), np.array([1.0 + 0j]))
+        with pytest.raises(EngineUnsupported):
+            state.to_statevector()
+
+
+class TestProbeEquivalence:
+    def test_identical_circuits_accepted(self):
+        circuit = Circuit(3, [hadamard(0), cnot(0, 1), Gate("T", (2,)), rz(1, 0.4)])
+        assert sparse_probe_equivalent(circuit, circuit.copy())
+
+    def test_global_phase_accepted(self):
+        # T = e^{iπ/8} RZ(π/4): equal only up to a global phase.
+        a = Circuit(2, [Gate("T", (0,)), cnot(0, 1)])
+        b = Circuit(2, [rz(0, math.pi / 4), cnot(0, 1)])
+        assert sparse_probe_equivalent(a, b)
+
+    def test_relative_phase_rejected(self):
+        a = Circuit(2, [hadamard(0), Gate("T", (0,))])
+        b = Circuit(2, [hadamard(0), Gate("TDG", (0,))])
+        assert not sparse_probe_equivalent(a, b)
+
+    def test_register_mismatch_rejected(self):
+        assert not sparse_probe_equivalent(
+            Circuit(2, [hadamard(0)]), Circuit(3, [hadamard(0)])
+        )
+
+    def test_differential_against_dense(self):
+        rng = np.random.default_rng(9)
+        names = ["H", "S", "T", "TDG", "X", "SQRTX"]
+        for trial in range(15):
+            n = int(rng.integers(2, 5))
+            circuits = []
+            for _ in range(2):
+                circuit = Circuit(n)
+                for _ in range(8):
+                    if rng.random() < 0.35 and n >= 2:
+                        a, b = rng.choice(n, size=2, replace=False)
+                        circuit.append(Gate("CNOT", (int(a), int(b))))
+                    elif rng.random() < 0.5:
+                        circuit.append(
+                            Gate(
+                                str(rng.choice(["RZ", "RX", "RY"])),
+                                (int(rng.integers(n)),),
+                                float(rng.uniform(-3, 3)),
+                            )
+                        )
+                    else:
+                        circuit.append(Gate(str(rng.choice(names)), (int(rng.integers(n)),)))
+                circuits.append(circuit)
+            a, b = circuits
+            assert sparse_probe_equivalent(a, b) == a.equals_up_to_global_phase(b)
+
+    def test_large_register_shallow_circuit(self):
+        # The dense engine cannot touch 40 qubits; the sparse probes can.
+        n = 40
+        a = Circuit(n, [hadamard(0), cnot(0, 20), Gate("T", (20,)), cnot(0, 20)])
+        b = Circuit(n, [hadamard(0), cnot(0, 20), Gate("TDG", (20,)), cnot(0, 20)])
+        assert sparse_probe_equivalent(a, a.copy())
+        assert not sparse_probe_equivalent(a, b)
