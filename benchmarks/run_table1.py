@@ -17,9 +17,17 @@ row against the smallest device of that family covering the register
 CNOT/SWAP counts, depth, two-qubit depth and a gate histogram next to the
 abstract Table-I numbers, and the JSON rows carry the full routing metrics.
 
+Pass ``--trace`` to run the sweep under the :mod:`repro.obs` tracer: every
+row gets a ``table1.row`` span over the full compile/route/verify span tree,
+the per-stage timings of the advanced pipeline print under each row, and the
+collected trace is written both as a native trace document
+(``--trace-output``, default ``benchmarks/trace_table1.json``) and as a
+Chrome trace-event file next to it (``*.chrome.json``, loadable in
+Perfetto / ``chrome://tracing``).
+
 Usage:
     python benchmarks/run_table1.py [--quick] [--seed 0] [--workers N]
-                                    [--topology KIND]
+                                    [--topology KIND] [--trace]
 """
 
 from __future__ import annotations
@@ -39,6 +47,15 @@ from repro.api import (
 )
 from repro.chemistry import build_molecular_hamiltonian, make_molecule, run_rhf
 from repro.hardware import TOPOLOGY_KINDS, topology_for
+from repro.obs import (
+    chrome_trace,
+    enable_tracing,
+    get_metrics,
+    get_tracer,
+    trace_document,
+    validate_chrome_trace,
+    write_trace,
+)
 from repro.vqe import hmp2_ranked_terms
 
 #: Table-I column order, by canonical backend name.
@@ -117,7 +134,23 @@ def main() -> None:
         help="compile against a device family and report routed metrics",
     )
     parser.add_argument("--output", type=Path, default=Path("benchmarks/results_table1.json"))
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect a repro.obs trace of the sweep and export it",
+    )
+    parser.add_argument(
+        "--trace-output",
+        type=Path,
+        default=Path("benchmarks/trace_table1.json"),
+        help="native trace document path (--trace only); the Chrome trace "
+        "lands next to it as *.chrome.json",
+    )
     args = parser.parse_args()
+
+    if args.trace:
+        enable_tracing()
+    tracer = get_tracer()
 
     cases = QUICK_CASES if args.quick else FULL_CASES
     labeled = build_requests(cases, args.seed, topology_kind=args.topology)
@@ -138,9 +171,12 @@ def main() -> None:
     try:
         for molecule_name, request in labeled:
             row_start = time.time()
-            row = compile_batch(
-                [request], backends=BACKENDS, cache=cache, executor=pool
-            ).results[0]
+            with tracer.span(
+                "table1.row", molecule=molecule_name, n_terms=len(request.terms)
+            ):
+                row = compile_batch(
+                    [request], backends=BACKENDS, cache=cache, executor=pool
+                ).results[0]
             elapsed = time.time() - row_start
             jw, bk, baseline, advanced = (row[name].cnot_count for name in BACKENDS)
             improvement = 100.0 * (1.0 - advanced / baseline) if baseline else 0.0
@@ -177,6 +213,13 @@ def main() -> None:
                     f"2q-depth={adv_routed['two_qubit_depth']}, "
                     f"swaps={adv_routed['n_swaps']}"
                 )
+            stage_timings = row["advanced"].stage_timings
+            if args.trace and stage_timings:
+                stages = "  ".join(
+                    f"{stage}={seconds * 1000.0:.1f}ms"
+                    for stage, seconds in stage_timings.items()
+                )
+                print(f"{'':>13}stages: {stages}")
             rows.append(
                 {
                     "molecule": molecule_name,
@@ -189,6 +232,7 @@ def main() -> None:
                     "paper": paper,
                     "routing": routing,
                     "seconds": elapsed,
+                    "stage_seconds": stage_timings,
                 }
             )
     finally:
@@ -201,6 +245,19 @@ def main() -> None:
     )
     args.output.write_text(json.dumps(rows, indent=2))
     print(f"Wrote {args.output}")
+
+    if args.trace:
+        document = trace_document(tracer, metrics=get_metrics(), label="table1")
+        write_trace(args.trace_output, document)
+        chrome = chrome_trace(tracer, process_name="run_table1")
+        n_events = validate_chrome_trace(chrome)
+        chrome_path = args.trace_output.with_suffix(".chrome.json")
+        chrome_path.write_text(json.dumps(chrome))
+        print(
+            f"Wrote {args.trace_output} and {chrome_path} "
+            f"({n_events} spans; open in Perfetto or render with "
+            f"tools/trace_report.py)"
+        )
 
 
 if __name__ == "__main__":

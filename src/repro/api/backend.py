@@ -95,7 +95,10 @@ class CompileResult:
     circuit when the request's config carried a topology (``None``
     otherwise); for the advanced flow the routed circuit covers the
     fermionic segment — compressed bosonic/hybrid segments are
-    cost-accounted, not synthesized.
+    cost-accounted, not synthesized.  ``stage_timings`` maps pipeline stage
+    name → wall seconds for staged flows (the advanced pipeline), ``None``
+    for single-step flows; ``run_table1 --trace`` and the obs span tree
+    report from it.
     """
 
     backend: str
@@ -105,6 +108,9 @@ class CompileResult:
     wall_time_s: float = field(compare=False, default=0.0)
     details: Any = field(compare=False, default=None, repr=False)
     routing: Optional["RoutingMetrics"] = field(compare=False, default=None)
+    stage_timings: Optional[Dict[str, float]] = field(
+        compare=False, default=None, repr=False
+    )
 
 
 @runtime_checkable

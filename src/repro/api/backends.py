@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.api.backend import CompileRequest, CompileResult, register_backend
+from repro.obs.tracer import get_tracer
 from repro.baselines import BaselineCompiler, naive_rotation_sequence
 from repro.circuits import optimize_circuit, sequence_cnot_count
 from repro.core import AdvancedPipeline
@@ -127,19 +128,25 @@ class NaiveTransformBackend:
     def compile(self, request: CompileRequest) -> CompileResult:
         start = time.perf_counter()
         n_qubits = request.resolved_n_qubits
-        transform = self._transform_factory(n_qubits)
-        parameters = (
-            list(request.parameters) if request.parameters is not None else None
-        )
-        # One Trotterization serves both the count and the routed synthesis
-        # (naive_cnot_count is exactly the analytic cost of this sequence).
-        sequence = naive_rotation_sequence(list(request.terms), transform, parameters)
-        count = sequence_cnot_count(
-            [(string, target) for string, _, target in sequence]
-        )
-        routing = None
-        if request.config.topology is not None:
-            routing = sequence_routing_metrics(sequence, request.config)
+        with get_tracer().span(
+            f"compile.{self._name}", n_terms=len(request.terms), n_qubits=n_qubits
+        ) as compile_span:
+            transform = self._transform_factory(n_qubits)
+            parameters = (
+                list(request.parameters) if request.parameters is not None else None
+            )
+            # One Trotterization serves both the count and the routed synthesis
+            # (naive_cnot_count is exactly the analytic cost of this sequence).
+            sequence = naive_rotation_sequence(
+                list(request.terms), transform, parameters
+            )
+            count = sequence_cnot_count(
+                [(string, target) for string, _, target in sequence]
+            )
+            routing = None
+            if request.config.topology is not None:
+                routing = sequence_routing_metrics(sequence, request.config)
+            compile_span.set_attribute("cnot_count", count)
         return CompileResult(
             backend=self._name,
             cnot_count=count,
@@ -166,25 +173,33 @@ class BaselineBackend:
         config = request.config
         n_qubits = request.resolved_n_qubits
         terms = list(request.terms)
-        compiler = BaselineCompiler(use_bosonic_encoding=config.use_bosonic_encoding)
-        if config.baseline_pso_iterations > 0:
-            compiler.search_transform(
+        with get_tracer().span(
+            "compile.baseline", n_terms=len(terms), n_qubits=n_qubits
+        ) as compile_span:
+            compiler = BaselineCompiler(
+                use_bosonic_encoding=config.use_bosonic_encoding
+            )
+            if config.baseline_pso_iterations > 0:
+                compiler.search_transform(
+                    terms,
+                    n_qubits=n_qubits,
+                    n_particles=config.baseline_pso_particles,
+                    iterations=config.baseline_pso_iterations,
+                    rng=np.random.default_rng(config.seed),
+                )
+            result = compiler.compile(
                 terms,
                 n_qubits=n_qubits,
-                n_particles=config.baseline_pso_particles,
-                iterations=config.baseline_pso_iterations,
-                rng=np.random.default_rng(config.seed),
+                parameters=list(request.parameters)
+                if request.parameters is not None
+                else None,
             )
-        result = compiler.compile(
-            terms,
-            n_qubits=n_qubits,
-            parameters=list(request.parameters) if request.parameters is not None else None,
-        )
-        routing = None
-        if config.topology is not None:
-            routing = sequence_routing_metrics(
-                list(result.ordered_exponentials), config
-            )
+            routing = None
+            if config.topology is not None:
+                routing = sequence_routing_metrics(
+                    list(result.ordered_exponentials), config
+                )
+            compile_span.set_attribute("cnot_count", result.cnot_count)
         return CompileResult(
             backend=self.name,
             cnot_count=result.cnot_count,
@@ -207,19 +222,27 @@ class AdvancedBackend:
 
     def compile(self, request: CompileRequest) -> CompileResult:
         start = time.perf_counter()
-        pipeline = AdvancedPipeline(request.config)
-        result = pipeline.run(
-            list(request.terms),
+        with get_tracer().span(
+            "compile.advanced",
+            n_terms=len(request.terms),
             n_qubits=request.resolved_n_qubits,
-            parameters=list(request.parameters) if request.parameters is not None else None,
-        )
-        routing = None
-        if request.config.topology is not None:
-            sequence = [
-                (rotation.string, rotation.angle, target)
-                for rotation, target in result.sorting.ordered_rotations
-            ]
-            routing = sequence_routing_metrics(sequence, request.config)
+        ) as compile_span:
+            pipeline = AdvancedPipeline(request.config)
+            result = pipeline.run(
+                list(request.terms),
+                n_qubits=request.resolved_n_qubits,
+                parameters=list(request.parameters)
+                if request.parameters is not None
+                else None,
+            )
+            routing = None
+            if request.config.topology is not None:
+                sequence = [
+                    (rotation.string, rotation.angle, target)
+                    for rotation, target in result.sorting.ordered_rotations
+                ]
+                routing = sequence_routing_metrics(sequence, request.config)
+            compile_span.set_attribute("cnot_count", result.cnot_count)
         return CompileResult(
             backend=self.name,
             cnot_count=result.cnot_count,
@@ -228,6 +251,7 @@ class AdvancedBackend:
             wall_time_s=time.perf_counter() - start,
             details=result,
             routing=routing,
+            stage_timings=dict(result.stage_seconds),
         )
 
 

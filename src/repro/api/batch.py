@@ -39,6 +39,7 @@ from repro.api.backend import (
     canonical_backend_name,
     get_backend,
 )
+from repro.obs.tracer import get_tracer, tracing
 
 #: A memoization key: (request fingerprint, canonical backend name).
 CacheKey = Tuple[Hashable, str]
@@ -183,6 +184,36 @@ def _compile_job(job: Tuple[str, CompileRequest]) -> CompileResult:
     return get_backend(backend_name).compile(request)
 
 
+def _compile_job_traced(job: Tuple[str, CompileRequest]):
+    """Worker entry point that also collects the worker-side span forest.
+
+    Used instead of :func:`_compile_job` on executor paths when the parent's
+    tracer is enabled: the worker process compiles under a fresh tracer and
+    ships its spans back (picklable dicts, times relative to the worker
+    origin) for :meth:`~repro.obs.tracer.Tracer.adopt` in the parent.
+    """
+    with tracing() as tracer:
+        result = _compile_job(job)
+        return result, tracer.export()
+
+
+def _map_jobs(map_fn, jobs, tracer) -> List[CompileResult]:
+    """Run jobs through an executor's ``map``, collecting worker spans.
+
+    With the tracer enabled the jobs go through :func:`_compile_job_traced`
+    and every worker's span forest is adopted under the current span (the
+    enclosing ``batch.compile_batch``); disabled, this is exactly the old
+    ``map(_compile_job, ...)`` path.
+    """
+    if not tracer.enabled:
+        return list(map_fn(_compile_job, [job for _, job in jobs]))
+    compiled: List[CompileResult] = []
+    for result, spans in map_fn(_compile_job_traced, [job for _, job in jobs]):
+        tracer.adopt(spans)
+        compiled.append(result)
+    return compiled
+
+
 def _check_worker_backends(canonical_names: Sequence[str]) -> None:
     """Refuse custom backends on process pools whose start method isn't fork.
 
@@ -263,15 +294,23 @@ def compile_batch(
                 pending[key] = (name, request)
 
     jobs = list(pending.items())
-    if executor is not None and len(jobs) > 1:
-        compiled = list(executor.map(_compile_job, [job for _, job in jobs]))
-    elif workers > 1 and len(jobs) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            compiled = list(pool.map(_compile_job, [job for _, job in jobs]))
-    else:
-        compiled = [_compile_job(job) for _, job in jobs]
-    for (key, _), result in zip(jobs, compiled):
-        cache.put(key, result)
+    tracer = get_tracer()
+    with tracer.span(
+        "batch.compile_batch",
+        n_requests=len(requests),
+        n_jobs=len(jobs),
+        backends=",".join(canonical_names),
+    ):
+        if executor is not None and len(jobs) > 1:
+            compiled = _map_jobs(executor.map, jobs, tracer)
+        elif workers > 1 and len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                compiled = _map_jobs(pool.map, jobs, tracer)
+        else:
+            # In-process: spans from each backend nest under this one naturally.
+            compiled = [_compile_job(job) for _, job in jobs]
+        for (key, _), result in zip(jobs, compiled):
+            cache.put(key, result)
 
     results: List[BackendResults] = [
         BackendResults(

@@ -23,7 +23,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.chemistry.hartree_fock import ScfResult
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.operators import FermionOperator
+
+#: Hamiltonian memo-cache traffic (per-ScfResult caches, global counters).
+_HAMILTONIAN_HITS = get_metrics().counter("chemistry.hamiltonian.cache_hits")
+_HAMILTONIAN_MISSES = get_metrics().counter("chemistry.hamiltonian.cache_misses")
 
 #: Integrals smaller than this are dropped when building operators.
 INTEGRAL_TOLERANCE = 1e-10
@@ -169,7 +175,9 @@ def build_molecular_hamiltonian(
     if use_cache:
         cached = scf._hamiltonian_cache.get(cache_key)
         if cached is not None:
+            _HAMILTONIAN_HITS.inc()
             return cached
+    _HAMILTONIAN_MISSES.inc()
     n_spatial = scf.n_orbitals
     n_frozen = int(n_frozen_spatial_orbitals)
     if n_frozen < 0 or n_frozen > scf.n_occupied:
@@ -183,40 +191,50 @@ def build_molecular_hamiltonian(
     active = list(range(n_frozen, n_frozen + n_active))
     frozen = list(range(n_frozen))
 
-    one_body_mo = mo_one_body_integrals(scf)
-    two_body_mo = mo_two_body_integrals(scf)
+    with get_tracer().span(
+        "chemistry.hamiltonian",
+        molecule=scf.molecule.name,
+        n_active=n_active,
+        n_frozen=n_frozen,
+    ):
+        one_body_mo = mo_one_body_integrals(scf)
+        two_body_mo = mo_two_body_integrals(scf)
 
-    # Core (frozen) energy and effective field on the active orbitals.
-    core_energy = 0.0
-    for i in frozen:
-        core_energy += 2.0 * one_body_mo[i, i]
-        for j in frozen:
-            core_energy += 2.0 * two_body_mo[i, i, j, j] - two_body_mo[i, j, j, i]
+        # Core (frozen) energy and effective field on the active orbitals.
+        core_energy = 0.0
+        for i in frozen:
+            core_energy += 2.0 * one_body_mo[i, i]
+            for j in frozen:
+                core_energy += 2.0 * two_body_mo[i, i, j, j] - two_body_mo[i, j, j, i]
 
-    effective_one_body = one_body_mo[np.ix_(active, active)].copy()
-    for a_index, p in enumerate(active):
-        for b_index, q in enumerate(active):
-            correction = 0.0
-            for i in frozen:
-                correction += 2.0 * two_body_mo[p, q, i, i] - two_body_mo[p, i, i, q]
-            effective_one_body[a_index, b_index] += correction
+        effective_one_body = one_body_mo[np.ix_(active, active)].copy()
+        for a_index, p in enumerate(active):
+            for b_index, q in enumerate(active):
+                correction = 0.0
+                for i in frozen:
+                    correction += (
+                        2.0 * two_body_mo[p, q, i, i] - two_body_mo[p, i, i, q]
+                    )
+                effective_one_body[a_index, b_index] += correction
 
-    active_two_body = two_body_mo[np.ix_(active, active, active, active)].copy()
+        active_two_body = two_body_mo[np.ix_(active, active, active, active)].copy()
 
-    one_body_so, two_body_so = spin_orbital_integrals(effective_one_body, active_two_body)
+        one_body_so, two_body_so = spin_orbital_integrals(
+            effective_one_body, active_two_body
+        )
 
-    n_active_electrons = scf.molecule.n_electrons - 2 * n_frozen
-    orbital_energies = np.repeat(scf.orbital_energies[active], 2)
+        n_active_electrons = scf.molecule.n_electrons - 2 * n_frozen
+        orbital_energies = np.repeat(scf.orbital_energies[active], 2)
 
-    result = MolecularHamiltonian(
-        constant=float(scf.molecule.nuclear_repulsion + core_energy),
-        one_body=one_body_so,
-        two_body=two_body_so,
-        n_electrons=n_active_electrons,
-        orbital_energies=orbital_energies,
-        name=scf.molecule.name,
-        hartree_fock_energy=scf.energy,
-    )
+        result = MolecularHamiltonian(
+            constant=float(scf.molecule.nuclear_repulsion + core_energy),
+            one_body=one_body_so,
+            two_body=two_body_so,
+            n_electrons=n_active_electrons,
+            orbital_energies=orbital_energies,
+            name=scf.molecule.name,
+            hartree_fock_energy=scf.energy,
+        )
     if use_cache:
         scf._hamiltonian_cache[cache_key] = result
     return result

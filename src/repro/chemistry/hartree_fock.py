@@ -20,7 +20,14 @@ from repro.chemistry.integrals import (
     build_core_hamiltonian,
     build_electron_repulsion_tensor,
     build_overlap_matrix,
+    integral_cache_stats,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+
+#: SCF memo-cache traffic, in the global obs registry.
+_SCF_HITS = get_metrics().counter("chemistry.scf.cache_hits")
+_SCF_MISSES = get_metrics().counter("chemistry.scf.cache_misses")
 
 
 def molecule_fingerprint(molecule: Molecule) -> Tuple:
@@ -136,7 +143,36 @@ def run_rhf(
         )
         cached = _SCF_CACHE.get(cache_key)
         if cached is not None:
+            _SCF_HITS.inc()
             return cached
+    _SCF_MISSES.inc()
+    integrals_before = integral_cache_stats()
+    with get_tracer().span("chemistry.scf", molecule=molecule.name) as scf_span:
+        result = _solve_rhf(molecule, basis, max_iterations, convergence, damping)
+        scf_span.set_attribute("n_iterations", result.n_iterations)
+        scf_span.set_attribute("converged", result.converged)
+        integrals_after = integral_cache_stats()
+        for key in ("boys", "hermite_expansion", "hermite_coulomb", "shell_pair"):
+            for event in ("hits", "misses"):
+                name = f"{key}.{event}"
+                delta = integrals_after[name] - integrals_before[name]
+                if delta:
+                    scf_span.set_attribute(f"integrals.{name}", delta)
+    if cache_key is not None:
+        while len(_SCF_CACHE) >= _SCF_CACHE_MAX_ENTRIES:
+            _SCF_CACHE.pop(next(iter(_SCF_CACHE)))  # FIFO eviction
+        _SCF_CACHE[cache_key] = result
+    return result
+
+
+def _solve_rhf(
+    molecule: Molecule,
+    basis: Optional[Sequence[BasisFunction]],
+    max_iterations: int,
+    convergence: float,
+    damping: float,
+) -> "ScfResult":
+    """The actual SCF iteration (cache handling and tracing live in run_rhf)."""
     basis = list(basis) if basis is not None else build_sto3g_basis(molecule)
     n_occupied = molecule.n_electrons // 2
     if n_occupied > len(basis):
@@ -188,8 +224,4 @@ def run_rhf(
         n_iterations=iteration,
         converged=converged,
     )
-    if cache_key is not None:
-        while len(_SCF_CACHE) >= _SCF_CACHE_MAX_ENTRIES:
-            _SCF_CACHE.pop(next(iter(_SCF_CACHE)))  # FIFO eviction
-        _SCF_CACHE[cache_key] = result
     return result

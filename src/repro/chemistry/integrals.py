@@ -37,10 +37,16 @@ import numpy as np
 from scipy.special import hyp1f1
 
 from repro.chemistry.basis import BasisFunction, Molecule
+from repro.obs.metrics import get_metrics
 
 #: Whether the memoization/vectorization layer is active (see
 #: :func:`set_integral_caching`).
 _CACHING_ENABLED = True
+
+#: Shell-pair cache traffic, in the global obs registry (cached objects:
+#: one attribute add per event, no registry lookup on the hot path).
+_PAIR_HITS = get_metrics().counter("chemistry.integrals.shell_pair.hits")
+_PAIR_MISSES = get_metrics().counter("chemistry.integrals.shell_pair.misses")
 
 
 def boys_function(n: int, x: float) -> float:
@@ -202,11 +208,14 @@ def shell_pair_data(function_a: BasisFunction, function_b: BasisFunction) -> She
     key = (_basis_function_key(function_a), _basis_function_key(function_b))
     data = _SHELL_PAIR_CACHE.get(key)
     if data is None:
+        _PAIR_MISSES.inc()
         data = ShellPairData(function_a, function_b)
         if _CACHING_ENABLED:
             while len(_SHELL_PAIR_CACHE) >= _SHELL_PAIR_CACHE_MAX_ENTRIES:
                 _SHELL_PAIR_CACHE.pop(next(iter(_SHELL_PAIR_CACHE)))
             _SHELL_PAIR_CACHE[key] = data
+    else:
+        _PAIR_HITS.inc()
     return data
 
 
@@ -216,6 +225,29 @@ def clear_integral_caches() -> None:
     _hermite_coulomb_cached.cache_clear()
     _boys_function_cached.cache_clear()
     _SHELL_PAIR_CACHE.clear()
+
+
+def integral_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of every integral cache, one JSON-ready dict.
+
+    The SCF span records the *delta* of this dict across a solve, so a trace
+    shows exactly how much integral work the chemistry front end served from
+    cache versus recomputed.
+    """
+    stats: Dict[str, int] = {}
+    for name, cached in (
+        ("boys", _boys_function_cached),
+        ("hermite_expansion", _hermite_expansion_cached),
+        ("hermite_coulomb", _hermite_coulomb_cached),
+    ):
+        info = cached.cache_info()
+        stats[f"{name}.hits"] = info.hits
+        stats[f"{name}.misses"] = info.misses
+        stats[f"{name}.size"] = info.currsize
+    stats["shell_pair.hits"] = _PAIR_HITS.value
+    stats["shell_pair.misses"] = _PAIR_MISSES.value
+    stats["shell_pair.size"] = len(_SHELL_PAIR_CACHE)
+    return stats
 
 
 def set_integral_caching(enabled: bool) -> bool:

@@ -32,11 +32,14 @@ certified per-term costs, since they act on compressed registers).
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs.tracer import get_tracer
 
 from repro.circuits import Circuit, exponential_sequence_circuit, optimize_circuit
 from repro.core.advanced_sorting import (
@@ -75,6 +78,9 @@ class AdvancedCompilationResult:
     fermionic_cnot_count: int
     gamma: np.ndarray
     sorting: SortingResult
+    #: Wall seconds per pipeline stage, in execution order (filled by
+    #: :meth:`AdvancedPipeline.run`; surfaced as ``CompileResult.stage_timings``).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def n_compressed_terms(self) -> int:
@@ -140,6 +146,8 @@ class StageContext:
     )
     # account
     result: Optional[AdvancedCompilationResult] = None
+    # filled by AdvancedPipeline.run: wall seconds per executed stage
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 Stage = Callable[[StageContext], None]
@@ -387,15 +395,29 @@ class AdvancedPipeline:
         n_qubits: Optional[int] = None,
         parameters: Optional[Sequence[float]] = None,
     ) -> AdvancedCompilationResult:
-        """Run every stage in order and return the accounted result."""
+        """Run every stage in order and return the accounted result.
+
+        Each stage runs under a ``pipeline.<stage>`` tracing span (a no-op
+        when tracing is disabled) and its wall time is recorded in
+        ``context.stage_seconds`` — cheap enough to stay always-on, so the
+        result carries per-stage timings even without tracing.
+        """
         context = self.make_context(terms, n_qubits=n_qubits, parameters=parameters)
-        for _, stage in self.stages:
-            stage(context)
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.run", n_terms=len(context.terms), n_qubits=context.n_qubits
+        ):
+            for name, stage in self.stages:
+                stage_start = time.perf_counter()
+                with tracer.span(f"pipeline.{name}"):
+                    stage(context)
+                context.stage_seconds[name] = time.perf_counter() - stage_start
         if context.result is None:
             raise RuntimeError(
                 "pipeline finished without producing a result; "
                 "did a stage substitution drop the 'account' stage?"
             )
+        context.result.stage_seconds = dict(context.stage_seconds)
         return context.result
 
 

@@ -34,9 +34,16 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate, cnot
 from repro.hardware.topology import Topology
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 #: CNOTs per SWAP under the CNOT + single-qubit gate set.
 SWAP_CNOT_COST = 3
+
+#: Router traffic across every strategy (SABRE and naive), in the global
+#: obs registry: how many circuits were routed and how many SWAPs that cost.
+_ROUTE_CALLS = get_metrics().counter("hardware.route.calls")
+_ROUTE_SWAPS = get_metrics().counter("hardware.route.swaps")
 
 
 def decompose_swaps(circuit: Circuit) -> Circuit:
@@ -200,6 +207,37 @@ def route_circuit(
         shortest-path progress on the oldest blocked gate (a termination
         guarantee, rarely triggered).
     """
+    with get_tracer().span(
+        "hardware.route",
+        strategy="sabre",
+        topology=topology.name,
+        n_gates=len(circuit.gates),
+    ) as route_span:
+        result = _route_circuit_sabre(
+            circuit,
+            topology,
+            seed=seed,
+            lookahead=lookahead,
+            lookahead_weight=lookahead_weight,
+            initial_layout=initial_layout,
+            max_stall=max_stall,
+        )
+        route_span.set_attribute("n_swaps", result.n_swaps)
+    _ROUTE_CALLS.inc()
+    _ROUTE_SWAPS.inc(result.n_swaps)
+    return result
+
+
+def _route_circuit_sabre(
+    circuit: Circuit,
+    topology: Topology,
+    seed: Optional[int],
+    lookahead: int,
+    lookahead_weight: float,
+    initial_layout: Optional[Sequence[int]],
+    max_stall: Optional[int],
+) -> RoutingResult:
+    """The SABRE heuristic itself (tracing and accounting live in route_circuit)."""
     n_logical = circuit.n_qubits
     n_physical = topology.n_qubits
     if n_physical < n_logical:
@@ -387,6 +425,24 @@ def naive_route_circuit(
     :func:`repro.hardware.synthesis.routed_pauli_exponential_circuit` and
     :func:`route_circuit` are measured against.
     """
+    with get_tracer().span(
+        "hardware.route",
+        strategy="naive",
+        topology=topology.name,
+        n_gates=len(circuit.gates),
+    ) as route_span:
+        result = _naive_route_circuit(circuit, topology, initial_layout)
+        route_span.set_attribute("n_swaps", result.n_swaps)
+    _ROUTE_CALLS.inc()
+    _ROUTE_SWAPS.inc(result.n_swaps)
+    return result
+
+
+def _naive_route_circuit(
+    circuit: Circuit,
+    topology: Topology,
+    initial_layout: Optional[Sequence[int]],
+) -> RoutingResult:
     n_logical = circuit.n_qubits
     n_physical = topology.n_qubits
     if n_physical < n_logical:

@@ -33,6 +33,7 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate, cnot, rz
 from repro.circuits.pauli_exponential import basis_change_gates, validate_target
 from repro.hardware.topology import Topology
+from repro.obs.tracer import get_tracer
 from repro.operators import PauliString
 
 
@@ -152,9 +153,16 @@ def routed_exponential_sequence_circuit(
     interface cancellations (the peephole pass only removes or merges gates,
     so legality is preserved).
     """
-    circuit = Circuit(topology.n_qubits)
-    for string, angle, target in sequence:
-        circuit = circuit.compose(
-            routed_pauli_exponential_circuit(string, angle, topology, target)
-        )
+    with get_tracer().span(
+        "hardware.steered_synthesis",
+        topology=topology.name,
+        n_terms=len(sequence),
+        n_qubits=topology.n_qubits,
+    ) as span:
+        circuit = Circuit(topology.n_qubits)
+        for string, angle, target in sequence:
+            circuit = circuit.compose(
+                routed_pauli_exponential_circuit(string, angle, topology, target)
+            )
+        span.set_attribute("n_gates", len(circuit.gates))
     return circuit

@@ -1,0 +1,200 @@
+"""Trace exporters: native JSON, Chrome trace-event format, text span tree.
+
+Three views of one :class:`~repro.obs.tracer.Tracer`'s span forest:
+
+* :func:`trace_document` — the repo's native JSON shape (span dicts relative
+  to the tracer origin plus a metrics snapshot); written by ``run_table1
+  --trace`` and consumed by ``tools/trace_report.py``;
+* :func:`chrome_trace` — Chrome trace-event JSON (``ph: "X"`` complete
+  events, microsecond timestamps) viewable in Perfetto (https://ui.perfetto.dev)
+  or ``chrome://tracing``; overlapping root spans (concurrent service jobs)
+  are spread over tracks by a first-fit lane assignment so siblings never
+  render entangled;
+* :func:`render_span_tree` — indented human-readable tree with durations,
+  percentages of the enclosing root, and attributes.
+
+:func:`validate_chrome_trace` is the schema check the obs CI job and the
+exporter tests run against emitted traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "load_trace_document",
+    "render_span_tree",
+    "trace_document",
+    "validate_chrome_trace",
+    "write_trace",
+]
+
+#: Format marker of the native trace document.
+TRACE_DOCUMENT_VERSION = 1
+
+SpanDict = Dict[str, Any]
+
+
+def _as_span_dicts(source: Union[Tracer, List[SpanDict]]) -> List[SpanDict]:
+    if isinstance(source, Tracer):
+        return source.export()
+    return list(source)
+
+
+def trace_document(
+    source: Union[Tracer, List[SpanDict]],
+    metrics: Optional[MetricsRegistry] = None,
+    label: str = "",
+) -> Dict[str, Any]:
+    """The native JSON trace shape: versioned span forest + metrics snapshot."""
+    return {
+        "version": TRACE_DOCUMENT_VERSION,
+        "label": label,
+        "spans": _as_span_dicts(source),
+        "metrics": metrics.snapshot() if metrics is not None else {},
+    }
+
+
+def load_trace_document(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and return a native trace document (raises ``ValueError``)."""
+    if not isinstance(data, dict) or "spans" not in data:
+        raise ValueError("not a trace document: missing 'spans'")
+    version = data.get("version")
+    if version != TRACE_DOCUMENT_VERSION:
+        raise ValueError(
+            f"unsupported trace document version {version!r}; "
+            f"this build reads version {TRACE_DOCUMENT_VERSION}"
+        )
+    return data
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def _assign_lanes(roots: List[SpanDict]) -> List[int]:
+    """First-fit track per root so overlapping roots get separate tids."""
+    lane_ends: List[float] = []
+    lanes = []
+    for root in sorted(roots, key=lambda r: r["start_s"]):
+        for lane, end in enumerate(lane_ends):
+            if root["start_s"] >= end:
+                lane_ends[lane] = root["end_s"]
+                lanes.append((id(root), lane))
+                break
+        else:
+            lane_ends.append(root["end_s"])
+            lanes.append((id(root), len(lane_ends) - 1))
+    by_identity = dict(lanes)
+    return [by_identity[id(root)] for root in roots]
+
+
+def _emit_events(span: SpanDict, tid: int, events: List[Dict[str, Any]]) -> None:
+    events.append(
+        {
+            "name": span["name"],
+            "ph": "X",
+            "ts": span["start_s"] * 1e6,
+            "dur": max(0.0, (span["end_s"] - span["start_s"]) * 1e6),
+            "pid": 1,
+            "tid": tid,
+            "cat": span["name"].split(".", 1)[0],
+            "args": dict(span.get("attributes", {})),
+        }
+    )
+    for child in span.get("children", []):
+        _emit_events(child, tid, events)
+
+
+def chrome_trace(
+    source: Union[Tracer, List[SpanDict]],
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """Chrome trace-event JSON (complete events) for Perfetto/chrome://tracing."""
+    roots = _as_span_dicts(source)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for root, tid in zip(roots, _assign_lanes(roots)):
+        _emit_events(root, tid, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(data: Dict[str, Any]) -> int:
+    """Schema-check a Chrome trace; returns the duration-event count.
+
+    Raises ``ValueError`` on the first malformed event.  Checked: the
+    top-level ``traceEvents`` array, per-event required keys, phase codes,
+    non-negative microsecond timestamps/durations, and JSON serializability.
+    """
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        raise ValueError("chrome trace must be an object with a 'traceEvents' array")
+    n_duration_events = 0
+    for index, event in enumerate(data["traceEvents"]):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] is missing {key!r}")
+        phase = event["ph"]
+        if phase not in ("X", "M", "B", "E", "i"):
+            raise ValueError(f"traceEvents[{index}] has unsupported phase {phase!r}")
+        if phase == "X":
+            if "ts" not in event or "dur" not in event:
+                raise ValueError(f"traceEvents[{index}] (complete) needs ts and dur")
+            if event["ts"] < 0 or event["dur"] < 0:
+                raise ValueError(f"traceEvents[{index}] has negative ts/dur")
+            n_duration_events += 1
+    json.dumps(data)  # must round-trip
+    return n_duration_events
+
+
+# ----------------------------------------------------------------------
+# Text span tree
+# ----------------------------------------------------------------------
+def _format_attributes(attributes: Dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    parts = ", ".join(f"{key}={value!r}" for key, value in sorted(attributes.items()))
+    return f"  [{parts}]"
+
+
+def _render(
+    span: SpanDict, root_duration: float, depth: int, lines: List[str]
+) -> None:
+    duration_ms = (span["end_s"] - span["start_s"]) * 1e3
+    share = ""
+    if root_duration > 0:
+        share = f" ({100.0 * (span['end_s'] - span['start_s']) / root_duration:5.1f}%)"
+    lines.append(
+        f"{'  ' * depth}{span['name']:<{max(1, 40 - 2 * depth)}}"
+        f"{duration_ms:10.3f} ms{share}{_format_attributes(span.get('attributes', {}))}"
+    )
+    for child in span.get("children", []):
+        _render(child, root_duration, depth + 1, lines)
+
+
+def render_span_tree(source: Union[Tracer, List[SpanDict]]) -> str:
+    """Indented text rendering of the span forest (durations, %, attributes)."""
+    roots = _as_span_dicts(source)
+    if not roots:
+        return "(no spans collected)"
+    lines: List[str] = []
+    for root in roots:
+        _render(root, root["end_s"] - root["start_s"], 0, lines)
+    return "\n".join(lines)
+
+
+def write_trace(path, document: Dict[str, Any]) -> None:
+    """Write any of the JSON trace shapes to ``path`` (pretty-printed)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,310 @@
+"""Span tracing with contextvar propagation and cross-process collection.
+
+A :class:`Span` is one named, timed interval with attributes and child spans;
+a :class:`Tracer` owns a forest of them.  The *current* span lives in a
+:mod:`contextvars` variable, so spans nest correctly across ``await`` points —
+every :class:`~repro.service.CompileService` worker task sees its own span
+stack — and new spans attach to whatever span is active in the calling
+context.
+
+The disabled path is a near-no-op: :meth:`Tracer.span` returns a shared
+singleton context manager whose ``__enter__`` yields a null span, so
+instrumented code pays one method call and no allocation per site
+(``benchmarks/bench_obs.py`` enforces the overhead ceiling).
+
+Process-pool workers cannot share the parent's tracer, so the collection
+protocol is explicit: the worker runs under a fresh tracer (see
+:func:`tracing`), exports its finished spans with :meth:`Tracer.export`
+(plain dicts, picklable), and the parent re-attaches them with
+:meth:`Tracer.adopt`.  ``perf_counter`` clocks are not comparable across
+processes, so exported times are relative to the worker's tracer origin and
+:meth:`adopt` rebases them onto a caller-chosen anchor (typically the moment
+the parent dispatched the job); durations are always faithful.
+
+Enable globally with ``REPRO_TRACE=1`` in the environment, or
+programmatically with :func:`enable_tracing` / the :func:`tracing` scope.
+"""
+
+from __future__ import annotations
+
+import os
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "tracing",
+    "tracing_enabled",
+]
+
+#: Environment variable that switches tracing on at import time.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+class Span:
+    """One named, timed interval in the trace tree."""
+
+    __slots__ = ("name", "start", "end", "attributes", "children")
+
+    def __init__(self, name: str, start: float, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.children: List["Span"] = []
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds from start to end (to *now* while the span is open)."""
+        end = self.end if self.end is not None else perf_counter()
+        return end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self, origin: float = 0.0) -> Dict[str, Any]:
+        """JSON/pickle-ready form with times relative to ``origin``."""
+        end = self.end if self.end is not None else perf_counter()
+        return {
+            "name": self.name,
+            "start_s": self.start - origin,
+            "end_s": end - origin,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict(origin) for child in self.children],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any], at: float = 0.0) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict`, rebased onto ``at``."""
+        rebuilt = Span(data["name"], at + data["start_s"], data.get("attributes"))
+        rebuilt.end = at + data["end_s"]
+        rebuilt.children = [
+            Span.from_dict(child, at) for child in data.get("children", [])
+        ]
+        return rebuilt
+
+    def __repr__(self) -> str:
+        state = "open" if self.end is None else f"{self.duration_s * 1e3:.3f}ms"
+        return f"Span({self.name!r}, {state}, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """Attribute sink for the disabled path; one shared instance."""
+
+    __slots__ = ()
+
+    name = "null"
+    attributes: Dict[str, Any] = {}
+    children: List[Span] = []
+    start = 0.0
+    end = 0.0
+    duration_s = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+
+#: The span every disabled :meth:`Tracer.span` call yields.
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Shared no-op context manager: the entire cost of a disabled span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+#: The active span of the calling context (task/thread-local via contextvars).
+_CURRENT: ContextVar[Optional[Span]] = ContextVar("repro_obs_current_span", default=None)
+
+
+class _SpanContext:
+    """Context manager that opens a real span and activates it."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self._span = Span(name, perf_counter(), attributes)
+
+    def __enter__(self) -> Span:
+        parent = _CURRENT.get()
+        if parent is None:
+            self._tracer.roots.append(self._span)
+        else:
+            parent.children.append(self._span)
+        self._token = _CURRENT.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self._span.end = perf_counter()
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        _CURRENT.reset(self._token)
+        return False
+
+
+class Tracer:
+    """A forest of spans plus the enabled/disabled switch.
+
+    ``origin`` anchors relative exports: :meth:`export` subtracts it, so a
+    worker process's spans are meaningful to the parent after :meth:`adopt`.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self.origin = perf_counter()
+        self.roots: List[Span] = []
+
+    def span(self, name: str, **attributes: Any):
+        """Context manager opening a child of the current span (or a root)."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, attributes)
+
+    def current(self) -> Optional[Span]:
+        """The span active in this context, ``None`` outside any span."""
+        return _CURRENT.get()
+
+    def clear(self) -> None:
+        """Drop collected spans and re-anchor the origin."""
+        self.roots = []
+        self.origin = perf_counter()
+
+    def all_spans(self) -> List[Span]:
+        """Every collected span, depth-first across the root forest."""
+        return [span for root in self.roots for span in root.walk()]
+
+    def export(self) -> List[Dict[str, Any]]:
+        """The root forest as picklable dicts, times relative to ``origin``."""
+        return [root.to_dict(self.origin) for root in self.roots]
+
+    def adopt(self, span_dicts: List[Dict[str, Any]], at: Optional[float] = None) -> List[Span]:
+        """Attach exported spans (e.g. from a pool worker) under the current span.
+
+        ``at`` is the absolute ``perf_counter`` anchor the relative times are
+        rebased onto; it defaults to the enclosing span's start (or this
+        tracer's origin at top level), which places worker spans inside the
+        interval that dispatched them.  Returns the adopted root spans.
+        """
+        if not self.enabled or not span_dicts:
+            return []
+        parent = _CURRENT.get()
+        if at is None:
+            at = parent.start if parent is not None else self.origin
+        adopted = [Span.from_dict(data, at) for data in span_dicts]
+        if parent is None:
+            self.roots.extend(adopted)
+        else:
+            parent.children.extend(adopted)
+        return adopted
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self.roots)} roots)"
+
+
+def _env_enabled(environ: Optional[Dict[str, str]] = None) -> bool:
+    """True when ``REPRO_TRACE`` is set to anything but ''/'0'/'false'/'off'."""
+    value = (environ if environ is not None else os.environ).get(TRACE_ENV_VAR, "")
+    return value.strip().lower() not in ("", "0", "false", "off", "no")
+
+
+_TRACER = Tracer(enabled=_env_enabled())
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer every instrumented call site uses."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the global tracer; returns the previous one (for restoration)."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the global tracer (module-level convenience)."""
+    return _TRACER.span(name, **attributes)
+
+
+def current_span() -> Optional[Span]:
+    """The active span of the calling context on the global tracer."""
+    return _TRACER.current()
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def enable_tracing(clear: bool = True) -> Tracer:
+    """Switch the global tracer on (optionally dropping old spans)."""
+    if clear:
+        _TRACER.clear()
+    _TRACER.enabled = True
+    return _TRACER
+
+
+def disable_tracing() -> Tracer:
+    """Switch the global tracer off (collected spans are kept)."""
+    _TRACER.enabled = False
+    return _TRACER
+
+
+class tracing:
+    """Scope with a fresh global tracer: ``with tracing() as tracer: ...``.
+
+    Swaps in a new :class:`Tracer` (enabled by default) for the duration and
+    restores the previous one afterwards — the worker-process entry points
+    and the CLIs both collect through this, and tests use it for isolation.
+
+    The current-span stack is also reset for the scope: spans opened under
+    the previous tracer must not become parents under this one.  In a forked
+    pool worker the inherited stack still points at the parent process's
+    copy of the dispatching span — without the reset, the worker's spans
+    would attach there and never reach this tracer's exportable roots.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._tracer = Tracer(enabled=enabled)
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self._tracer)
+        self._token = _CURRENT.set(None)
+        return self._tracer
+
+    def __exit__(self, *exc_info) -> bool:
+        _CURRENT.reset(self._token)
+        set_tracer(self._previous)
+        return False

@@ -49,7 +49,8 @@ from repro.api.backend import CompileResult
 from repro.api.batch import CacheKey, cache_key_digest
 
 #: Bumped whenever the on-disk entry layout changes; part of every stamp.
-CACHE_FORMAT_VERSION = 1
+#: 2: CompileResult gained the ``stage_timings`` field.
+CACHE_FORMAT_VERSION = 2
 
 #: The golden regression files the default version stamp is derived from.
 GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"

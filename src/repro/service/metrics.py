@@ -11,87 +11,111 @@
 * **latency histograms** — ``wait`` (submit → worker pickup), ``compute``
   (backend compile only) and ``total`` (submit → result) with p50/p95/p99.
 
+Since the ``repro.obs`` layer landed, everything here is built on its shared
+primitives: the counters are :class:`~repro.obs.metrics.Counter`, the queue
+gauge is a :class:`~repro.obs.metrics.Gauge`, and the latency histograms are
+bounded :class:`~repro.obs.metrics.Histogram` objects (so a long-running
+service no longer grows sample memory without bound — see
+``DEFAULT_MAX_SAMPLES`` / reservoir sampling in :mod:`repro.obs.metrics`).
+:class:`LatencyHistogram` is re-exported from there for compatibility.
+
 Everything is plain-Python and JSON-serializable via :meth:`snapshot`, which
 is what ``benchmarks/bench_service.py`` dumps into ``BENCH_service.json``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
+
+from repro.obs.metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+
+__all__ = ["TIERS", "LatencyHistogram", "ServiceMetrics"]
 
 #: The lookup tiers a finished job can be served from.
 TIERS = ("memory", "disk", "compute", "dedup")
 
 
-class LatencyHistogram:
-    """Latency samples with percentile summaries (p50/p95/p99).
+class ServiceMetrics:
+    """Counters, gauges and histograms of one :class:`CompileService`.
 
-    Samples are kept exactly (no binning) and summarized on demand with the
-    nearest-rank method; service workloads are small enough that exactness
-    beats streaming sketches.
+    A private :class:`~repro.obs.metrics.MetricsRegistry` backs every field,
+    so each service instance snapshots independently; pass ``registry`` to
+    aggregate several services into one registry instead.
     """
 
-    def __init__(self, name: str):
-        self.name = name
-        self.samples: List[float] = []
-
-    def record(self, seconds: float) -> None:
-        self.samples.append(float(seconds))
-
-    def __len__(self) -> int:
-        return len(self.samples)
-
-    def percentile(self, q: float) -> Optional[float]:
-        """Nearest-rank percentile of the samples; ``None`` when empty."""
-        if not 0 <= q <= 100:
-            raise ValueError("percentile must be between 0 and 100")
-        if not self.samples:
-            return None
-        ordered = sorted(self.samples)
-        rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
-        return ordered[rank]
-
-    def summary(self) -> Dict:
-        """JSON-ready summary in milliseconds."""
-        if not self.samples:
-            return {"count": 0}
-        to_ms = lambda s: round(s * 1e3, 4)  # noqa: E731 - tiny local adapter
-        return {
-            "count": len(self.samples),
-            "mean_ms": to_ms(sum(self.samples) / len(self.samples)),
-            "p50_ms": to_ms(self.percentile(50)),
-            "p95_ms": to_ms(self.percentile(95)),
-            "p99_ms": to_ms(self.percentile(99)),
-            "max_ms": to_ms(max(self.samples)),
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tier_counters: Dict[str, Counter] = {
+            tier: self.registry.counter(f"service.tier.{tier}") for tier in TIERS
         }
+        self._submitted = self.registry.counter("service.submitted")
+        self._failures = self.registry.counter("service.failures")
+        self._cancellations = self.registry.counter("service.cancellations")
+        self._rejections = self.registry.counter("service.rejections")
+        self._queue = self.registry.gauge("service.queue_depth")
+        self.wait = self.registry.histogram("service.latency.wait")
+        self.compute = self.registry.histogram("service.latency.compute")
+        self.total = self.registry.histogram("service.latency.total")
 
+    # ------------------------------------------------------------------
+    # Counter views (attribute-compatible with the pre-obs implementation:
+    # `metrics.submitted += 1` still works through the property setters)
+    # ------------------------------------------------------------------
+    @property
+    def tier_counts(self) -> Dict[str, int]:
+        return {tier: counter.value for tier, counter in self._tier_counters.items()}
 
-class ServiceMetrics:
-    """Counters, gauges and histograms of one :class:`CompileService`."""
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
 
-    def __init__(self):
-        self.tier_counts: Dict[str, int] = {tier: 0 for tier in TIERS}
-        self.failures = 0
-        self.cancellations = 0
-        self.rejections = 0
-        self.submitted = 0
-        self.queue_depth = 0
-        self.queue_depth_peak = 0
-        self.wait = LatencyHistogram("wait")
-        self.compute = LatencyHistogram("compute")
-        self.total = LatencyHistogram("total")
+    @submitted.setter
+    def submitted(self, value: int) -> None:
+        self._submitted.value = value
+
+    @property
+    def failures(self) -> int:
+        return self._failures.value
+
+    @failures.setter
+    def failures(self, value: int) -> None:
+        self._failures.value = value
+
+    @property
+    def cancellations(self) -> int:
+        return self._cancellations.value
+
+    @cancellations.setter
+    def cancellations(self, value: int) -> None:
+        self._cancellations.value = value
+
+    @property
+    def rejections(self) -> int:
+        return self._rejections.value
+
+    @rejections.setter
+    def rejections(self, value: int) -> None:
+        self._rejections.value = value
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.value
+
+    @property
+    def queue_depth_peak(self) -> int:
+        return self._queue.peak
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def count_tier(self, tier: str) -> None:
-        if tier not in self.tier_counts:
+        counter = self._tier_counters.get(tier)
+        if counter is None:
             raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
-        self.tier_counts[tier] += 1
+        counter.inc()
 
     def record_queue_depth(self, depth: int) -> None:
-        self.queue_depth = depth
-        self.queue_depth_peak = max(self.queue_depth_peak, depth)
+        self._queue.set(depth)
 
     # ------------------------------------------------------------------
     # Derived rates
@@ -99,22 +123,23 @@ class ServiceMetrics:
     @property
     def served(self) -> int:
         """Jobs that finished successfully (every tier, dedup included)."""
-        return sum(self.tier_counts.values())
+        return sum(counter.value for counter in self._tier_counters.values())
 
     def hit_rate(self, tier: str) -> float:
         """Fraction of served jobs answered by ``tier`` (0.0 when idle)."""
-        if tier not in self.tier_counts:
+        counter = self._tier_counters.get(tier)
+        if counter is None:
             raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
         if self.served == 0:
             return 0.0
-        return self.tier_counts[tier] / self.served
+        return counter.value / self.served
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of served jobs that avoided a compile entirely."""
         if self.served == 0:
             return 0.0
-        avoided = self.served - self.tier_counts["compute"]
+        avoided = self.served - self._tier_counters["compute"].value
         return avoided / self.served
 
     # ------------------------------------------------------------------
@@ -125,7 +150,7 @@ class ServiceMetrics:
         return {
             "submitted": self.submitted,
             "served": self.served,
-            "tiers": dict(self.tier_counts),
+            "tiers": self.tier_counts,
             "hit_rates": {
                 tier: round(self.hit_rate(tier), 6) for tier in TIERS
             },

@@ -42,7 +42,8 @@ from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
 from repro.api.backend import CompileRequest, CompileResult, canonical_backend_name
-from repro.api.batch import CacheKey, CompileCache, _compile_job
+from repro.api.batch import CacheKey, CompileCache, _compile_job, _compile_job_traced
+from repro.obs.tracer import get_tracer
 from repro.service.cache import PersistentCompileCache
 from repro.service.metrics import ServiceMetrics
 
@@ -390,20 +391,38 @@ class CompileService:
             return
         job.started_at = time.perf_counter()
         self.metrics.wait.record(job.started_at - job.submitted_at)
+        tracer = get_tracer()
         try:
-            result, tier = self._lookup(job.key)
-            if result is None:
-                loop = asyncio.get_running_loop()
-                compute_start = time.perf_counter()
-                result = await loop.run_in_executor(
-                    self._executor, _compile_job, (job.backend, job.request)
-                )
-                self.metrics.compute.record(time.perf_counter() - compute_start)
-                tier = "compute"
-                if self.disk_cache is not None:
-                    self.disk_cache.put(job.key, result)
-            if self.memory_cache is not None:
-                self.memory_cache.put(job.key, result)
+            with tracer.span(
+                "service.job", backend=job.backend, job_id=job.job_id
+            ) as job_span:
+                with tracer.span("service.lookup"):
+                    result, tier = self._lookup(job.key)
+                if result is None:
+                    loop = asyncio.get_running_loop()
+                    with tracer.span("service.compute"):
+                        compute_start = time.perf_counter()
+                        if tracer.enabled:
+                            # Executor workers do not inherit the tracing
+                            # contextvar; collect their span forest explicitly
+                            # and rebase it at the compute start time.
+                            result, spans = await loop.run_in_executor(
+                                self._executor,
+                                _compile_job_traced,
+                                (job.backend, job.request),
+                            )
+                            tracer.adopt(spans, at=compute_start)
+                        else:
+                            result = await loop.run_in_executor(
+                                self._executor, _compile_job, (job.backend, job.request)
+                            )
+                    self.metrics.compute.record(time.perf_counter() - compute_start)
+                    tier = "compute"
+                    if self.disk_cache is not None:
+                        self.disk_cache.put(job.key, result)
+                if self.memory_cache is not None:
+                    self.memory_cache.put(job.key, result)
+                job_span.set_attribute("tier", tier)
         except asyncio.CancelledError:
             job.future.cancel()  # service shutdown mid-compile
             raise

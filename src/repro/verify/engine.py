@@ -35,6 +35,8 @@ from typing import Optional, Sequence, Tuple
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.pauli_exponential import exponential_sequence_circuit
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.operators.pauli import PauliString
 from repro.verify.pauli_prop import (
     forms_equivalent,
@@ -132,6 +134,43 @@ def check_equivalence(
     """
     if engine is not None and engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    with get_tracer().span(
+        "verify.check",
+        n_qubits=circuit_a.n_qubits,
+        n_gates_a=len(circuit_a.gates),
+        n_gates_b=len(circuit_b.gates),
+        requested=engine or "auto",
+    ) as span:
+        report = _dispatch_equivalence(
+            circuit_a,
+            circuit_b,
+            engine,
+            tolerance,
+            angle_atol,
+            dense_qubit_limit,
+            seed,
+        )
+        span.set_attribute("engine", report.engine)
+        span.set_attribute("equivalent", report.equivalent)
+        span.set_attribute("exact", report.exact)
+    metrics = get_metrics()
+    metrics.counter(f"verify.engine.{report.engine}").inc()
+    metrics.counter(
+        "verify.verdict.equivalent" if report.equivalent else "verify.verdict.different"
+    ).inc()
+    return report
+
+
+def _dispatch_equivalence(
+    circuit_a: Circuit,
+    circuit_b: Circuit,
+    engine: Optional[str],
+    tolerance: float,
+    angle_atol: float,
+    dense_qubit_limit: int,
+    seed: int,
+) -> EquivalenceReport:
+    """The dispatch ladder itself (tracing and accounting live one level up)."""
     if circuit_a.n_qubits != circuit_b.n_qubits:
         return EquivalenceReport(False, "dispatch", True, "register sizes differ")
     if engine == "tableau":

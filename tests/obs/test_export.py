@@ -1,0 +1,177 @@
+"""Exporters: native documents, Chrome trace schema, lanes, text tree."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    load_trace_document,
+    render_span_tree,
+    trace_document,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.export import TRACE_DOCUMENT_VERSION
+
+
+def span_dict(name, start, end, children=(), **attributes):
+    return {
+        "name": name,
+        "start_s": start,
+        "end_s": end,
+        "attributes": attributes,
+        "children": list(children),
+    }
+
+
+def sample_tracer():
+    tracer = Tracer(enabled=True)
+    with tracer.span("compile.advanced", n_terms=3):
+        with tracer.span("pipeline.run"):
+            with tracer.span("pipeline.sort"):
+                pass
+    return tracer
+
+
+class TestTraceDocument:
+    def test_document_shape_and_round_trip(self, tmp_path):
+        tracer = sample_tracer()
+        metrics = MetricsRegistry()
+        metrics.counter("hits").inc(2)
+        document = trace_document(tracer, metrics=metrics, label="test")
+        assert document["version"] == TRACE_DOCUMENT_VERSION
+        assert document["label"] == "test"
+        assert document["metrics"] == {"hits": 2}
+        assert document["spans"][0]["name"] == "compile.advanced"
+
+        path = tmp_path / "trace.json"
+        write_trace(path, document)
+        loaded = load_trace_document(json.loads(path.read_text()))
+        assert loaded == document
+
+    def test_document_without_metrics(self):
+        assert trace_document([])["metrics"] == {}
+
+    def test_document_accepts_span_dicts(self):
+        spans = [span_dict("s", 0.0, 1.0)]
+        assert trace_document(spans)["spans"] == spans
+
+    def test_load_rejects_non_documents(self):
+        with pytest.raises(ValueError, match="missing 'spans'"):
+            load_trace_document({"version": 1})
+        with pytest.raises(ValueError, match="missing 'spans'"):
+            load_trace_document([1, 2])
+
+    def test_load_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            load_trace_document({"version": 999, "spans": []})
+
+
+class TestChromeTrace:
+    def test_metadata_event_then_complete_events(self):
+        chrome = chrome_trace(sample_tracer(), process_name="unit")
+        events = chrome["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"] == {"name": "unit"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == [
+            "compile.advanced",
+            "pipeline.run",
+            "pipeline.sort",
+        ]
+        assert validate_chrome_trace(chrome) == 3
+
+    def test_microsecond_units_and_category(self):
+        spans = [span_dict("pipeline.sort", 0.5, 1.5, n=2)]
+        (meta, event) = chrome_trace(spans)["traceEvents"]
+        assert event["ts"] == pytest.approx(0.5e6)
+        assert event["dur"] == pytest.approx(1.0e6)
+        assert event["cat"] == "pipeline"
+        assert event["args"] == {"n": 2}
+
+    def test_overlapping_roots_get_distinct_lanes(self):
+        overlapping = [
+            span_dict("job-a", 0.0, 2.0),
+            span_dict("job-b", 1.0, 3.0),  # overlaps job-a
+            span_dict("job-c", 2.5, 4.0),  # fits after job-a on lane 0
+        ]
+        events = [e for e in chrome_trace(overlapping)["traceEvents"] if e["ph"] == "X"]
+        tids = {e["name"]: e["tid"] for e in events}
+        assert tids["job-a"] != tids["job-b"]
+        assert tids["job-c"] == tids["job-a"]
+
+    def test_children_share_the_root_lane(self):
+        root = span_dict("root", 0.0, 2.0, children=[span_dict("child", 0.5, 1.0)])
+        events = [e for e in chrome_trace([root])["traceEvents"] if e["ph"] == "X"]
+        assert events[0]["tid"] == events[1]["tid"]
+
+    def test_empty_forest_is_valid(self):
+        chrome = chrome_trace([])
+        assert validate_chrome_trace(chrome) == 0
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing 'ph'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "pid": 1, "tid": 0}]}
+            )
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Q", "pid": 1, "tid": 0}]}
+            )
+
+    def test_rejects_complete_event_without_timing(self):
+        with pytest.raises(ValueError, match="ts and dur"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 0}]}
+            )
+
+    def test_rejects_negative_timing(self):
+        event = {"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": -1, "dur": 2}
+        with pytest.raises(ValueError, match="negative"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_unserializable_payloads(self):
+        event = {
+            "name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 1,
+            "args": {"bad": object()},
+        }
+        with pytest.raises(TypeError):
+            validate_chrome_trace({"traceEvents": [event]})
+
+
+class TestRenderSpanTree:
+    def test_renders_names_durations_attributes(self):
+        text = render_span_tree(sample_tracer())
+        lines = text.splitlines()
+        assert lines[0].startswith("compile.advanced")
+        assert "[n_terms=3]" in lines[0]
+        assert lines[1].startswith("  pipeline.run")
+        assert lines[2].startswith("    pipeline.sort")
+        assert all("ms" in line for line in lines)
+        assert "(100.0%)" in lines[0]
+
+    def test_percentages_are_relative_to_the_root(self):
+        root = span_dict("root", 0.0, 2.0, children=[span_dict("half", 0.0, 1.0)])
+        text = render_span_tree([root])
+        assert "( 50.0%)" in text
+
+    def test_zero_duration_root_renders_without_percentages(self):
+        text = render_span_tree([span_dict("instant", 1.0, 1.0)])
+        assert "%" not in text
+
+    def test_empty_forest(self):
+        assert render_span_tree([]) == "(no spans collected)"
+        assert render_span_tree(Tracer(enabled=True)) == "(no spans collected)"

@@ -1,0 +1,307 @@
+"""Tracer/Span semantics: nesting, contextvars, no-op path, export/adopt."""
+
+import asyncio
+import pickle
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    tracing,
+    tracing_enabled,
+)
+from repro.obs.tracer import _NULL_CONTEXT, TRACE_ENV_VAR, _env_enabled
+from repro.obs import span as global_span
+
+
+class TestSpanNesting:
+    def test_sibling_and_child_structure(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("a.child"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [r.name for r in tracer.roots] == ["root"]
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a.child"]
+
+    def test_spans_carry_attributes_and_set_attribute(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", n=3) as s:
+            s.set_attribute("extra", "x")
+        assert s.attributes == {"n": 3, "extra": "x"}
+
+    def test_timestamps_are_monotone_and_closed(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start <= inner.start <= inner.end <= outer.end
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_open_span_duration_uses_now(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("open") as s:
+            assert s.end is None
+            assert s.duration_s >= 0.0
+            assert "open" in repr(s)
+        assert "ms" in repr(s)
+
+    def test_exception_records_error_attribute_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert tracer.roots[0].attributes["error"] == "ValueError"
+        assert tracer.roots[0].end is not None
+
+    def test_current_span_tracks_the_stack(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("r"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        names = [s.name for s in tracer.all_spans()]
+        assert names == ["r", "a", "a1", "b"]
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_collects_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible", n=1) as s:
+            with tracer.span("also.invisible"):
+                pass
+        assert tracer.roots == []
+        assert tracer.all_spans() == []
+        assert tracer.export() == []
+        assert s is NULL_SPAN
+
+    def test_disabled_span_is_one_shared_context_manager(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b", attr=1) is _NULL_CONTEXT
+
+    def test_null_span_is_inert(self):
+        assert NULL_SPAN.set_attribute("k", "v") is NULL_SPAN
+        assert NULL_SPAN.attributes == {}
+        assert list(NULL_SPAN.walk()) == []
+        assert NULL_SPAN.duration_s == 0.0
+
+    def test_disabled_adopt_is_a_no_op(self):
+        tracer = Tracer(enabled=False)
+        exported = [{"name": "w", "start_s": 0.0, "end_s": 1.0, "children": []}]
+        assert tracer.adopt(exported) == []
+        assert tracer.roots == []
+
+
+class TestAsyncPropagation:
+    def test_concurrent_tasks_get_independent_span_stacks(self):
+        tracer = Tracer(enabled=True)
+
+        async def worker(name):
+            with tracer.span(name):
+                await asyncio.sleep(0)
+                with tracer.span(f"{name}.child"):
+                    await asyncio.sleep(0)
+
+        async def main():
+            with tracer.span("parent"):
+                await asyncio.gather(worker("t1"), worker("t2"))
+
+        asyncio.run(main())
+        (parent,) = tracer.roots
+        assert parent.name == "parent"
+        children = sorted(c.name for c in parent.children)
+        assert children == ["t1", "t2"]
+        for child in parent.children:
+            assert [g.name for g in child.children] == [f"{child.name}.child"]
+
+
+class TestExportAdopt:
+    def test_export_is_relative_to_origin_and_picklable(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", k=1):
+            with tracer.span("child"):
+                pass
+        (exported,) = pickle.loads(pickle.dumps(tracer.export()))
+        assert exported["name"] == "root"
+        assert exported["attributes"] == {"k": 1}
+        assert 0.0 <= exported["start_s"] <= exported["end_s"]
+        (child,) = exported["children"]
+        assert exported["start_s"] <= child["start_s"] <= child["end_s"] <= exported["end_s"]
+
+    def test_adopt_rebases_onto_explicit_anchor(self):
+        worker = Tracer(enabled=True)
+        with worker.span("work"):
+            pass
+        exported = worker.export()
+        duration = exported[0]["end_s"] - exported[0]["start_s"]
+
+        parent = Tracer(enabled=True)
+        with parent.span("dispatch") as dispatch:
+            (adopted,) = parent.adopt(exported, at=dispatch.start + 0.5)
+        assert adopted.name == "work"
+        assert adopted in dispatch.children
+        assert adopted.start == pytest.approx(dispatch.start + 0.5 + exported[0]["start_s"])
+        assert adopted.duration_s == pytest.approx(duration)
+
+    def test_adopt_defaults_to_parent_start(self):
+        worker = Tracer(enabled=True)
+        with worker.span("work"):
+            pass
+        parent = Tracer(enabled=True)
+        with parent.span("dispatch") as dispatch:
+            (adopted,) = parent.adopt(worker.export())
+        assert adopted.start >= dispatch.start
+
+    def test_adopt_outside_any_span_becomes_a_root(self):
+        worker = Tracer(enabled=True)
+        with worker.span("work"):
+            pass
+        parent = Tracer(enabled=True)
+        (adopted,) = parent.adopt(worker.export())
+        assert adopted in parent.roots
+
+    def test_adopt_empty_list_is_a_no_op(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.adopt([]) == []
+
+    def test_from_dict_round_trip(self):
+        span = Span("s", 10.0, {"a": 1})
+        span.end = 11.0
+        child = Span("c", 10.2)
+        child.end = 10.8
+        span.children.append(child)
+        rebuilt = Span.from_dict(span.to_dict(origin=10.0), at=100.0)
+        assert rebuilt.name == "s"
+        assert rebuilt.start == pytest.approx(100.0)
+        assert rebuilt.end == pytest.approx(101.0)
+        assert rebuilt.attributes == {"a": 1}
+        assert rebuilt.children[0].start == pytest.approx(100.2)
+
+    def test_clear_drops_spans_and_reanchors(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("x"):
+            pass
+        old_origin = tracer.origin
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.origin >= old_origin
+
+
+class TestGlobalTracer:
+    def test_tracing_scope_swaps_and_restores(self):
+        before = get_tracer()
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+            with global_span("inside"):
+                assert current_span().name == "inside"
+        assert get_tracer() is before
+
+    def test_tracing_scope_can_be_disabled(self):
+        with tracing(enabled=False) as tracer:
+            with global_span("nope"):
+                pass
+            assert not tracing_enabled()
+            assert tracer.roots == []
+
+    def test_enable_disable_toggle(self):
+        with tracing(enabled=False):
+            enable_tracing()
+            assert tracing_enabled()
+            with global_span("kept"):
+                pass
+            disable_tracing()
+            assert not tracing_enabled()
+            assert [s.name for s in get_tracer().roots] == ["kept"]
+
+    def test_enable_tracing_clears_by_default(self):
+        with tracing() as tracer:
+            with global_span("old"):
+                pass
+            enable_tracing()
+            assert tracer.roots == []
+
+    def test_tracing_scope_resets_the_current_span_stack(self):
+        # A forked pool worker inherits the parent's open span through the
+        # contextvar; a fresh tracing() scope must not let new spans attach
+        # to it (they would never reach the fresh tracer's exportable roots).
+        outer = Tracer(enabled=True)
+        previous = set_tracer(outer)
+        try:
+            with outer.span("parent") as parent:
+                with tracing() as worker:
+                    assert worker.current() is None
+                    with global_span("work"):
+                        pass
+                assert [s.name for s in worker.roots] == ["work"]
+                assert parent.children == []
+                assert outer.current() is parent
+        finally:
+            set_tracer(previous)
+
+    def test_set_tracer_returns_previous(self):
+        fresh = Tracer(enabled=True)
+        previous = set_tracer(fresh)
+        try:
+            assert get_tracer() is fresh
+        finally:
+            set_tracer(previous)
+
+    def test_repr(self):
+        assert "disabled" in repr(Tracer())
+        assert "enabled" in repr(Tracer(enabled=True))
+
+
+class TestEnvEnable:
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", "anything"])
+    def test_truthy_values(self, value):
+        assert _env_enabled({TRACE_ENV_VAR: value})
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no", " FALSE "])
+    def test_falsy_values(self, value):
+        assert not _env_enabled({TRACE_ENV_VAR: value})
+
+    def test_unset(self):
+        assert not _env_enabled({})
+
+    def test_fresh_interpreter_honors_env(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.obs import tracing_enabled, get_tracer\n"
+            "assert tracing_enabled()\n"
+            "with get_tracer().span('from-env'):\n"
+            "    pass\n"
+            "assert [s.name for s in get_tracer().roots] == ['from-env']\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", TRACE_ENV_VAR: "1", "PATH": "/usr/bin:/bin"},
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

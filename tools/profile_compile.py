@@ -11,10 +11,16 @@ unitary construction (``Circuit.to_unitary``) and statevector application
 (``Circuit.apply_to_statevector``) on a random circuit, the hot path of the
 differential harnesses and hypothesis suites.
 
+``--json PATH`` additionally runs the job under the :mod:`repro.obs` tracer
+and writes a machine-readable report: the top cProfile entries (same sort and
+count as the printed table) next to the collected span tree, so one file
+answers both "which functions are hot" and "which pipeline stages are slow".
+
 Usage:
     PYTHONPATH=src python tools/profile_compile.py LiH --n-terms 12
     PYTHONPATH=src python tools/profile_compile.py H2 --backend advanced --top 15
     PYTHONPATH=src python tools/profile_compile.py LiH --sort tottime --warm
+    PYTHONPATH=src python tools/profile_compile.py LiH --json profile_LiH.json
     PYTHONPATH=src python tools/profile_compile.py --sim --sim-qubits 10 --sim-gates 200
 """
 
@@ -22,8 +28,10 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import time
+from pathlib import Path
 
 
 def main() -> None:
@@ -59,6 +67,14 @@ def main() -> None:
     )
     parser.add_argument("--sim-qubits", type=int, default=10, help="register size for --sim")
     parser.add_argument("--sim-gates", type=int, default=200, help="gate count for --sim")
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also trace the job and write cProfile top entries + span tree "
+        "as JSON (compile mode only)",
+    )
     args = parser.parse_args()
 
     if args.sim:
@@ -98,11 +114,14 @@ def main() -> None:
         def job():
             return backend.compile(request)
 
+    from repro.obs import get_metrics, trace_document, tracing
+
     profiler = cProfile.Profile()
     start = time.perf_counter()
-    profiler.enable()
-    job()
-    profiler.disable()
+    with tracing(enabled=args.json is not None) as tracer:
+        profiler.enable()
+        job()
+        profiler.disable()
     elapsed = time.perf_counter() - start
 
     label = args.backend if args.backend is not None else "all backends"
@@ -112,6 +131,44 @@ def main() -> None:
     )
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
+
+    if args.json is not None:
+        report = {
+            "molecule": args.molecule,
+            "n_terms": args.n_terms,
+            "backend": label,
+            "warm": bool(args.warm),
+            "elapsed_s": elapsed,
+            "profile": {
+                "sort": args.sort,
+                "top": top_profile_entries(profiler, args.sort, args.top),
+            },
+            "trace": trace_document(
+                tracer, metrics=get_metrics(), label=f"profile_compile:{label}"
+            ),
+        }
+        args.json.write_text(json.dumps(report, indent=2))
+        print(f"Wrote {args.json}")
+
+
+def top_profile_entries(profiler, sort: str, top: int):
+    """The first ``top`` cProfile rows under ``sort``, as plain dicts."""
+    sort_index = {"cumulative": 3, "tottime": 2, "ncalls": 1}[sort]
+    rows = []
+    for (filename, line, function), row in pstats.Stats(profiler).stats.items():
+        primitive_calls, calls, total_time, cumulative_time = row[:4]
+        rows.append(
+            {
+                "function": f"{filename}:{line}({function})",
+                "ncalls": calls,
+                "primitive_calls": primitive_calls,
+                "tottime_s": total_time,
+                "cumtime_s": cumulative_time,
+            }
+        )
+    keys = {1: "ncalls", 2: "tottime_s", 3: "cumtime_s"}
+    rows.sort(key=lambda entry: entry[keys[sort_index]], reverse=True)
+    return rows[:top]
 
 
 def profile_simulation(args) -> None:
