@@ -33,6 +33,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.api.backend import (
     CompileRequest,
     CompileResult,
@@ -179,8 +180,17 @@ class BatchResult:
 
 
 def _compile_job(job: Tuple[str, CompileRequest]) -> CompileResult:
-    """Worker entry point: resolve the backend by name and compile."""
+    """Worker entry point: resolve the backend by name and compile.
+
+    The two :mod:`repro.faults` sites here are no-ops unless a fault plan is
+    active (chaos tests): ``pool.worker`` is where a ``kill`` rule takes down
+    the hosting pool process, and ``compute`` injects transient compile
+    failures/delays.  Pool workers pick a plan up from the ``REPRO_FAULTS``
+    environment variable (or fork inheritance on Linux).
+    """
     backend_name, request = job
+    faults.fire("pool.worker", backend=backend_name)
+    faults.fire("compute", backend=backend_name)
     return get_backend(backend_name).compile(request)
 
 

@@ -1,0 +1,50 @@
+"""Deterministic fault injection for chaos testing the compile service.
+
+A :class:`FaultPlan` binds seeded probabilistic rules (raise, corrupt bytes,
+delay, kill a pool worker) to named injection sites (``disk.read``,
+``disk.write``, ``compute``, ``pool.worker``, ``queue``).  Call sites reach
+the plan through the zero-overhead-when-disabled :func:`fire`/:func:`mangle`
+hooks; activate a plan with the :class:`inject` context manager or the
+``REPRO_FAULTS`` environment variable.  See :mod:`repro.faults.plan`.
+
+>>> from repro.faults import inject
+>>> with inject("disk.read=error:0.2;compute=error:0.2", seed=7) as plan:
+...     ...  # service traffic here sees seeded disk/compute faults
+>>> plan.fired_total()
+"""
+
+from repro.faults.plan import (
+    ACTIONS,
+    FAULTS_ENV_VAR,
+    KILL_EXIT_CODE,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    activate,
+    active_plan,
+    deactivate,
+    fire,
+    inject,
+    mangle,
+    parse_plan,
+    plan_from_env,
+)
+
+__all__ = [
+    "ACTIONS",
+    "FAULTS_ENV_VAR",
+    "KILL_EXIT_CODE",
+    "SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fire",
+    "inject",
+    "mangle",
+    "parse_plan",
+    "plan_from_env",
+]

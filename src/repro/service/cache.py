@@ -45,6 +45,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import faults
 from repro.api.backend import CompileResult
 from repro.api.batch import CacheKey, cache_key_digest
 
@@ -95,8 +96,13 @@ class PersistentCompileCache:
 
     Counters (per instance, not persisted): ``hits``, ``misses``,
     ``stale_invalidations`` (version-stamp mismatches removed on read),
-    ``corrupt_invalidations`` (unreadable entries removed on read) and
-    ``evictions``.
+    ``corrupt_invalidations`` (unreadable entries removed on read),
+    ``io_errors`` (OS-level read/write failures — permission flips, full
+    disks, injected faults — which are *not* treated as corruption: the
+    entry is left in place and the operation degrades to a miss) and
+    ``evictions``.  ``fault_events`` sums the corruption and I/O counters;
+    the service's disk circuit breaker watches its delta around every
+    disk-tier operation.
     """
 
     def __init__(
@@ -119,7 +125,13 @@ class PersistentCompileCache:
         self.misses = 0
         self.stale_invalidations = 0
         self.corrupt_invalidations = 0
+        self.io_errors = 0
         self.evictions = 0
+
+    @property
+    def fault_events(self) -> int:
+        """Disk misbehaviors observed so far (corrupt entries + I/O errors)."""
+        return self.corrupt_invalidations + self.io_errors
 
     # ------------------------------------------------------------------
     # Addressing
@@ -139,10 +151,17 @@ class PersistentCompileCache:
     def _load(self, path: Path, key: Optional[CacheKey]) -> Optional[CompileResult]:
         """Read one entry, enforcing version and key; invalidate bad files."""
         try:
-            payload = pickle.loads(path.read_bytes())
+            faults.fire("disk.read", path=path)
+            payload = pickle.loads(faults.mangle("disk.read", path.read_bytes()))
             version, stored_key = payload["version"], payload["key"]
             result = payload["result"]
         except FileNotFoundError:
+            return None
+        except OSError:
+            # The disk itself misbehaved (permission flip, EIO, injected
+            # fault).  The entry may be perfectly fine, so keep it and
+            # degrade to a miss; the breaker above decides systemic policy.
+            self.io_errors += 1
             return None
         except Exception:
             # Unreadable pickle (foreign file, interrupted pre-atomic-write
@@ -183,29 +202,43 @@ class PersistentCompileCache:
     # Write path
     # ------------------------------------------------------------------
     def put(self, key: CacheKey, result: CompileResult) -> None:
-        """Atomically store ``result`` under ``key`` and enforce the bound."""
+        """Atomically store ``result`` under ``key`` and enforce the bound.
+
+        OS-level write failures (full disk, permission flip, injected fault)
+        count into ``io_errors`` and propagate as ``OSError`` — the caller
+        decides whether a failed cache write is fatal (the service degrades;
+        a direct user sees the error).
+        """
         path = self.entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps(
-            {
-                "version": self.version,
-                "key": key,
-                "result": result,
-                "created_at": time.time(),
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
-        )
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)  # atomic: readers never see a torn file
-        except BaseException:
-            self._unlink(Path(tmp_name))
+            path.parent.mkdir(parents=True, exist_ok=True)
+            faults.fire("disk.write", path=path)
+            payload = faults.mangle(
+                "disk.write",
+                pickle.dumps(
+                    {
+                        "version": self.version,
+                        "key": key,
+                        "result": result,
+                        "created_at": time.time(),
+                    },
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ),
+            )
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)  # atomic: no torn files for readers
+            except BaseException:
+                self._unlink(Path(tmp_name))
+                raise
+        except OSError:
+            self.io_errors += 1
             raise
         self._touch(path)  # stamp recency on the same clock the hits use
         if self.max_entries is not None:
@@ -269,14 +302,31 @@ class PersistentCompileCache:
                 "misses": self.misses,
                 "stale_invalidations": self.stale_invalidations,
                 "corrupt_invalidations": self.corrupt_invalidations,
+                "io_errors": self.io_errors,
                 "evictions": self.evictions,
             },
         }
 
-    def vacuum(self) -> int:
-        """Remove every entry whose version stamp doesn't match; return count."""
+    #: ``vacuum`` only removes ``.tmp`` write files older than this (seconds);
+    #: younger ones may belong to a concurrent writer mid-``put``.
+    TMP_MAX_AGE_S = 3600.0
+
+    def vacuum(self, tmp_max_age_s: Optional[float] = None) -> int:
+        """Remove stale entries and orphaned write files; return the count.
+
+        An entry is stale when its version stamp doesn't match (or it cannot
+        be read at all).  ``.tmp``-suffixed files are **never** judged as
+        entries: a concurrent writer's mid-``put`` temporary must not be
+        counted corrupt and deleted out from under it (the torn-write race
+        this method used to lose).  Only ``.tmp`` files older than
+        ``tmp_max_age_s`` — orphans of a crashed writer, which no live
+        ``put`` can still be holding — are swept.
+        """
+        max_age = self.TMP_MAX_AGE_S if tmp_max_age_s is None else tmp_max_age_s
         removed = 0
         for path in list(self._entry_paths()):
+            if path.name.endswith(".tmp"):
+                continue  # never treat a mid-write temporary as an entry
             stale = False
             try:
                 stale = pickle.loads(path.read_bytes())["version"] != self.version
@@ -287,6 +337,14 @@ class PersistentCompileCache:
             if stale and self._unlink(path):
                 removed += 1
         self.stale_invalidations += removed
+        now = time.time()
+        for path in list(self.root.glob("*/*.tmp")):
+            try:
+                age_s = now - path.stat().st_mtime
+            except FileNotFoundError:
+                continue  # the writer finished (renamed) or another vacuum won
+            if age_s > max_age and self._unlink(path):
+                removed += 1
         return removed
 
     def clear(self) -> int:

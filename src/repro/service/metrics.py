@@ -8,6 +8,10 @@
   (submits that attached to an identical in-flight compilation), and the
   failure/cancellation/backpressure-rejection counts;
 * **queue pressure** — current and peak queue depth;
+* **resilience counters** — deadline timeouts, retries consumed, abandoned
+  compilations, pool-worker crashes, disk faults observed and lookups that
+  skipped the disk tier while its circuit breaker was open, plus the
+  breaker's open/close transition counts and current state code;
 * **latency histograms** — ``wait`` (submit → worker pickup), ``compute``
   (backend compile only) and ``total`` (submit → result) with p50/p95/p99.
 
@@ -52,6 +56,15 @@ class ServiceMetrics:
         self._failures = self.registry.counter("service.failures")
         self._cancellations = self.registry.counter("service.cancellations")
         self._rejections = self.registry.counter("service.rejections")
+        self._timeouts = self.registry.counter("service.timeouts")
+        self._retries = self.registry.counter("service.retries")
+        self._abandonments = self.registry.counter("service.abandonments")
+        self._worker_crashes = self.registry.counter("service.worker_crashes")
+        self._disk_faults = self.registry.counter("service.disk_faults")
+        self._disk_degraded = self.registry.counter("service.disk_degraded")
+        self._breaker_opens = self.registry.counter("service.breaker.opens")
+        self._breaker_closes = self.registry.counter("service.breaker.closes")
+        self._breaker_state = self.registry.gauge("service.breaker.state")
         self._queue = self.registry.gauge("service.queue_depth")
         self.wait = self.registry.histogram("service.latency.wait")
         self.compute = self.registry.histogram("service.latency.compute")
@@ -96,6 +109,78 @@ class ServiceMetrics:
     @rejections.setter
     def rejections(self, value: int) -> None:
         self._rejections.value = value
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
+    @timeouts.setter
+    def timeouts(self, value: int) -> None:
+        self._timeouts.value = value
+
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self._retries.value = value
+
+    @property
+    def abandonments(self) -> int:
+        return self._abandonments.value
+
+    @abandonments.setter
+    def abandonments(self, value: int) -> None:
+        self._abandonments.value = value
+
+    @property
+    def worker_crashes(self) -> int:
+        return self._worker_crashes.value
+
+    @worker_crashes.setter
+    def worker_crashes(self, value: int) -> None:
+        self._worker_crashes.value = value
+
+    @property
+    def disk_faults(self) -> int:
+        return self._disk_faults.value
+
+    @disk_faults.setter
+    def disk_faults(self, value: int) -> None:
+        self._disk_faults.value = value
+
+    @property
+    def disk_degraded(self) -> int:
+        return self._disk_degraded.value
+
+    @disk_degraded.setter
+    def disk_degraded(self, value: int) -> None:
+        self._disk_degraded.value = value
+
+    @property
+    def breaker_opens(self) -> int:
+        return self._breaker_opens.value
+
+    @breaker_opens.setter
+    def breaker_opens(self, value: int) -> None:
+        self._breaker_opens.value = value
+
+    @property
+    def breaker_closes(self) -> int:
+        return self._breaker_closes.value
+
+    @breaker_closes.setter
+    def breaker_closes(self, value: int) -> None:
+        self._breaker_closes.value = value
+
+    @property
+    def breaker_state(self) -> int:
+        """Disk-breaker state code: 0 closed, 1 half-open, 2 open."""
+        return self._breaker_state.value
+
+    def record_breaker_state(self, code: int) -> None:
+        self._breaker_state.set(code)
 
     @property
     def queue_depth(self) -> int:
@@ -160,6 +245,17 @@ class ServiceMetrics:
             "rejections": self.rejections,
             "queue_depth": self.queue_depth,
             "queue_depth_peak": self.queue_depth_peak,
+            "resilience": {
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+                "abandonments": self.abandonments,
+                "worker_crashes": self.worker_crashes,
+                "disk_faults": self.disk_faults,
+                "disk_degraded": self.disk_degraded,
+                "breaker_opens": self.breaker_opens,
+                "breaker_closes": self.breaker_closes,
+                "breaker_state": self.breaker_state,
+            },
             "latency": {
                 "wait": self.wait.summary(),
                 "compute": self.compute.summary(),

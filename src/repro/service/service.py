@@ -3,30 +3,64 @@
 :class:`CompileService` turns the per-call :func:`repro.api.compile_batch`
 machinery into a long-lived service with a job API:
 
-* ``submit(request, backend, priority)`` → job id (backpressure: a bounded
-  priority queue; a full queue rejects with :class:`ServiceOverloadedError`
+* ``submit(request, backend, priority, deadline_s)`` → job id (backpressure:
+  a bounded priority queue; a full queue rejects with
+  :class:`ServiceOverloadedError` carrying a computed ``retry_after_s`` hint
   instead of buffering unboundedly);
 * ``status(job_id)`` → :class:`JobStatus` snapshot;
 * ``result(job_id)`` → awaits and returns the :class:`~repro.api.CompileResult`;
-* ``cancel(job_id)`` → best-effort cancellation of queued work.
+* ``cancel(job_id)`` → cancellation of queued *and* in-flight submitters.
 
 Identical in-flight requests — same memoization key as the in-memory
 :class:`~repro.api.CompileCache` — are **deduplicated**: N submitters share
-one compilation future and N-1 of them are served from the ``dedup`` tier.
-Worker tasks serve each job through the layered lookup path
+one compilation and N-1 of them are served from the ``dedup`` tier, while
+each keeps its *own* result future so per-submitter deadlines, cancellation
+and timeouts compose with dedup.  Worker tasks serve each job through the
+layered lookup path
 
     memory (CompileCache) → disk (PersistentCompileCache) → compute
 
 where the compute step reuses the batch layer's worker entry point
 (:func:`repro.api.batch._compile_job`) on a caller-supplied executor — pass a
-``ProcessPoolExecutor`` for real parallelism, or leave the default to run
-compilations on the event loop's thread pool.  Every tier transition is
-recorded in :class:`~repro.service.metrics.ServiceMetrics`.
+``ProcessPoolExecutor`` (or better, ``executor_factory=`` so the service can
+replenish a crashed pool) for real parallelism, or leave the default to run
+compilations on the event loop's thread pool.
+
+The resilience layer (this PR's reason to exist) is built from the
+:mod:`repro.service.resilience` primitives:
+
+* **Deadlines** — ``submit(..., deadline_s=...)`` arms a watchdog that fails
+  the submitter's future with :class:`JobTimedOut` the moment the deadline
+  passes, whether the job is still queued or already computing.  A shared
+  (deduplicated) compilation keeps running for the submitters that still
+  have time.
+* **Retries** — transient compute failures (classified by
+  :class:`RetryPolicy`; worker crashes and I/O errors by default) are
+  retried with exponential backoff and deterministic jitter, bounded by the
+  per-job attempt cap and the service-wide retry budget, all surfaced in
+  :class:`ServiceMetrics` and traced as ``service.retry`` spans.
+* **Worker-crash recovery** — a died process-pool worker surfaces as
+  :class:`WorkerCrashed` on the job that hit it (not a poisoned service);
+  when the service owns its pool (``executor_factory``) the broken pool is
+  replaced before the retry, and dedup joiners receive the retried result.
+* **Disk circuit breaker** — consecutive disk-tier faults (I/O errors,
+  corrupt shards) open a :class:`CircuitBreaker`; while open, lookups skip
+  straight to memory → compute (graceful degradation), and half-open probes
+  re-admit the tier once it heals.  Transitions are counted, gauged and
+  emitted as ``service.breaker`` spans.
+* **Graceful shutdown** — ``shutdown(drain=True, timeout_s=...)`` stops
+  accepting work and finishes what is queued/in flight before closing,
+  instead of cancelling it.
+
+Every tier transition and resilience event is recorded in
+:class:`~repro.service.metrics.ServiceMetrics`; the chaos suite
+(``tests/service/test_chaos.py``) and ``benchmarks/bench_chaos.py`` drive
+the whole layer under :mod:`repro.faults` injection.
 
 Usage::
 
     async with CompileService(disk_cache=PersistentCompileCache(dir)) as svc:
-        job = await svc.submit(request, backend="advanced")
+        job = await svc.submit(request, backend="advanced", deadline_s=30.0)
         result = await svc.result(job)
         svc.metrics.snapshot()
 """
@@ -36,20 +70,49 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
-from concurrent.futures import Executor
+from concurrent.futures import BrokenExecutor, Executor
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.api.backend import CompileRequest, CompileResult, canonical_backend_name
-from repro.api.batch import CacheKey, CompileCache, _compile_job, _compile_job_traced
+from repro.api.batch import (
+    CacheKey,
+    CompileCache,
+    _compile_job,
+    _compile_job_traced,
+    cache_key_digest,
+)
 from repro.obs.tracer import get_tracer
 from repro.service.cache import PersistentCompileCache
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    JobTimedOut,
+    RetryPolicy,
+    WorkerCrashed,
+)
 
 
 class ServiceOverloadedError(RuntimeError):
-    """The job queue is full; the submitter should back off and retry."""
+    """The job queue is full; the submitter should back off and retry.
+
+    ``retry_after_s`` is the service's own estimate of when a slot should
+    free up — current queue depth times the recent median compute time,
+    spread over the worker count — so clients can back off proportionally
+    to the actual overload instead of guessing.
+    """
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDrainingError(RuntimeError):
+    """The service is shutting down and no longer accepts submissions."""
 
 
 class UnknownJobError(KeyError):
@@ -66,6 +129,7 @@ class JobState(Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    TIMED_OUT = "timed_out"
 
 
 @dataclass(frozen=True)
@@ -82,22 +146,35 @@ class JobStatus:
     total_s: Optional[float]
 
 
+#: Sentinel: the compute was abandoned because every submitter gave up.
+_ABANDONED = object()
+
+
 class _Job:
-    """Internal per-submit record; deduplicated submits share ``future``."""
+    """Internal per-submit record; deduplicated submits share the *work*.
+
+    Every submitter owns its own result future (so deadlines, cancellation
+    and timeouts are per-submitter), while ``link`` ties joiners to the
+    primary job that actually occupies a queue slot and computes.
+    """
 
     __slots__ = (
         "job_id", "request", "backend", "key", "priority", "future",
-        "submitted_at", "started_at", "finished_at", "tier", "error",
-        "cancelled", "link", "joiners",
+        "deadline_s", "deadline_handle", "submitted_at", "started_at",
+        "finished_at", "tier", "error", "cancelled", "link", "joiners",
+        "exec_future", "abandon_requested",
     )
 
-    def __init__(self, job_id, request, backend, key, priority, future, link=None):
+    def __init__(self, job_id, request, backend, key, priority, future,
+                 deadline_s=None, link=None):
         self.job_id = job_id
         self.request = request
         self.backend = backend
         self.key = key
         self.priority = priority
         self.future = future
+        self.deadline_s: Optional[float] = deadline_s
+        self.deadline_handle: Optional[asyncio.TimerHandle] = None
         self.submitted_at = time.perf_counter()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -106,23 +183,35 @@ class _Job:
         self.cancelled = False
         self.link: Optional[_Job] = link  # primary job, for deduplicated submits
         self.joiners: List[_Job] = []
+        self.exec_future: Optional[asyncio.Future] = None
+        self.abandon_requested = False
 
     @property
     def primary(self) -> "_Job":
         return self.link if self.link is not None else self
 
     @property
+    def group(self) -> List["_Job"]:
+        """Every submitter sharing this compilation (primary first)."""
+        primary = self.primary
+        return [primary] + primary.joiners
+
+    @property
     def abandoned(self) -> bool:
-        """Every submitter of this compilation has cancelled."""
-        job = self.primary
-        return job.cancelled and all(joiner.cancelled for joiner in job.joiners)
+        """No submitter of this compilation is still waiting for it."""
+        return all(job.future.done() for job in self.group)
 
     @property
     def state(self) -> JobState:
         if self.cancelled or self.future.cancelled():
             return JobState.CANCELLED
         if self.future.done():
-            return JobState.FAILED if self.future.exception() else JobState.DONE
+            exc = self.future.exception()
+            if exc is None:
+                return JobState.DONE
+            if isinstance(exc, JobTimedOut):
+                return JobState.TIMED_OUT
+            return JobState.FAILED
         if self.primary.started_at is not None:
             return JobState.RUNNING
         return JobState.QUEUED
@@ -135,14 +224,15 @@ class _Job:
             backend=self.backend,
             priority=self.priority,
             tier=self.tier,
-            error=self.primary.error,
+            error=self.error if self.error is not None else self.primary.error,
             deduplicated=self.link is not None,
             total_s=None if finished is None else finished - self.submitted_at,
         )
 
 
 class CompileService:
-    """Async compile service: bounded priority queue, dedup, tiered caching.
+    """Async compile service: bounded priority queue, dedup, tiered caching,
+    deadlines, retries, worker-crash recovery and disk circuit breaking.
 
     Parameters
     ----------
@@ -154,12 +244,28 @@ class CompileService:
     executor:
         Where compilations run.  ``None`` uses the event loop's default
         thread pool; pass a ``ProcessPoolExecutor`` for CPU parallelism
-        (the caller owns and shuts it down).
+        (the caller owns and shuts it down — and eats crashed pools).
+    executor_factory:
+        Alternative to ``executor``: a zero-argument callable the service
+        uses to create (and own) its executor, and to **replenish** it when
+        a pool worker dies — the only mode in which :class:`WorkerCrashed`
+        recovery can replace the broken pool.  Mutually exclusive with
+        ``executor``.
     n_workers:
         Concurrent worker tasks draining the queue.
     max_queue:
         Queue bound; a full queue makes :meth:`submit` raise
         :class:`ServiceOverloadedError` (the backpressure signal).
+    retry_policy:
+        :class:`RetryPolicy` for transient compute failures; defaults to
+        3 attempts of exponential backoff.  ``RetryPolicy(max_attempts=1)``
+        disables retries.
+    breaker:
+        :class:`CircuitBreaker` guarding the disk tier.  Defaults to a
+        5-consecutive-failure breaker whenever ``disk_cache`` is present.
+    default_deadline_s:
+        Deadline applied to submits that don't pass their own (``None`` =
+        no deadline).
 
     Lower ``priority`` values run earlier; ties are FIFO.
     """
@@ -169,20 +275,37 @@ class CompileService:
         disk_cache: Optional[PersistentCompileCache] = None,
         memory_cache: Optional[CompileCache] = None,
         executor: Optional[Executor] = None,
+        executor_factory: Optional[Callable[[], Executor]] = None,
         n_workers: int = 2,
         max_queue: int = 64,
         use_memory_cache: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        default_deadline_s: Optional[float] = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
+        if executor is not None and executor_factory is not None:
+            raise ValueError("pass either executor or executor_factory, not both")
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be None or positive")
         if memory_cache is None and use_memory_cache:
             memory_cache = CompileCache()
         self.disk_cache = disk_cache
         self.memory_cache = memory_cache if use_memory_cache else None
         self.metrics = ServiceMetrics()
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = breaker
+        if self.breaker is None and disk_cache is not None:
+            self.breaker = CircuitBreaker()
+        if self.breaker is not None:
+            self._chain_breaker_callback(self.breaker)
+            self.metrics.record_breaker_state(self.breaker.state_code)
+        self.default_deadline_s = default_deadline_s
         self._executor = executor
+        self._executor_factory = executor_factory
         self._n_workers = n_workers
         self._max_queue = max_queue
         self._queue: Optional[asyncio.PriorityQueue] = None
@@ -191,6 +314,7 @@ class CompileService:
         self._inflight: Dict[CacheKey, _Job] = {}
         self._seq = itertools.count()
         self._order = itertools.count()  # FIFO tiebreak inside one priority
+        self._draining = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -198,6 +322,9 @@ class CompileService:
     async def start(self) -> "CompileService":
         if self._queue is not None:
             raise RuntimeError("service already started")
+        self._draining = False
+        if self._executor_factory is not None and self._executor is None:
+            self._executor = self._executor_factory()
         self._queue = asyncio.PriorityQueue(maxsize=self._max_queue)
         self._workers = [
             asyncio.create_task(self._worker(), name=f"compile-worker-{i}")
@@ -212,10 +339,33 @@ class CompileService:
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
         self._queue = None
+        self._draining = False
         for job in self._jobs.values():
+            self._cancel_deadline(job)
             if not job.future.done():
                 job.future.cancel()
         self._inflight.clear()
+        if self._executor_factory is not None and self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def shutdown(self, drain: bool = True, timeout_s: Optional[float] = None) -> None:
+        """Stop accepting work; optionally finish what's already in.
+
+        With ``drain=True`` (the default) the service refuses new submits
+        (:class:`ServiceDrainingError`), waits up to ``timeout_s`` seconds
+        (``None`` = forever) for every queued and in-flight job to complete,
+        then closes.  Work that doesn't finish inside the window — and
+        everything, when ``drain=False`` — is cancelled by :meth:`close`.
+        """
+        self._require_started()
+        self._draining = True
+        if drain:
+            try:
+                await asyncio.wait_for(self._queue.join(), timeout_s)
+            except asyncio.TimeoutError:
+                pass  # the drain window expired; close() cancels the rest
+        await self.close()
 
     async def __aenter__(self) -> "CompileService":
         return await self.start()
@@ -236,49 +386,70 @@ class CompileService:
         request: CompileRequest,
         backend: str = "advanced",
         priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> str:
         """Enqueue one compilation; returns the job id.
 
         An identical in-flight request (same memoization key) is joined, not
-        re-queued: the new job shares the existing compilation future and
-        costs no queue slot.  A full queue raises
-        :class:`ServiceOverloadedError` and counts a rejection.
+        re-queued: the new job shares the existing compilation without a
+        queue slot, while keeping its own future (and deadline).  A full
+        queue raises :class:`ServiceOverloadedError` with a
+        ``retry_after_s`` hint and counts a rejection.  ``deadline_s``
+        (falling back to the service's ``default_deadline_s``) bounds the
+        submit→result time; a missed deadline fails this submitter's future
+        with :class:`JobTimedOut` whether the job is queued or in flight.
         """
         self._require_started()
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining (shutdown in progress); submission refused"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be None or positive")
+        faults.fire("queue")
         canonical = canonical_backend_name(backend)
         key = CompileCache.key(request, canonical)
         job_id = f"job-{next(self._seq)}"
+        loop = asyncio.get_running_loop()
 
         primary = self._inflight.get(key)
-        if primary is not None and not primary.future.done():
+        if primary is not None:
             job = _Job(job_id, request, canonical, key, priority,
-                       primary.future, link=primary)
+                       loop.create_future(), deadline_s, link=primary)
             primary.joiners.append(job)
-            self._jobs[job_id] = job
-            self.metrics.submitted += 1
+            self._register(job, loop)
             return job_id
 
-        loop = asyncio.get_running_loop()
-        job = _Job(job_id, request, canonical, key, priority, loop.create_future())
-        # Mark the shared future's eventual exception as observed so an
-        # abandoned job never triggers the "exception was never retrieved"
-        # warning; result() still re-raises for every awaiting submitter.
-        job.future.add_done_callback(
-            lambda f: None if f.cancelled() else f.exception()
-        )
+        job = _Job(job_id, request, canonical, key, priority,
+                   loop.create_future(), deadline_s)
         try:
             self._queue.put_nowait((priority, next(self._order), job))
         except asyncio.QueueFull:
             self.metrics.rejections += 1
             raise ServiceOverloadedError(
                 f"compile queue is full ({self._max_queue} jobs); "
-                "retry after in-flight work drains"
+                "retry after in-flight work drains",
+                retry_after_s=self._retry_after_hint(),
             ) from None
-        self._jobs[job_id] = job
         self._inflight[key] = job
-        self.metrics.submitted += 1
+        self._register(job, loop)
         self.metrics.record_queue_depth(self._queue.qsize())
         return job_id
+
+    def _register(self, job: _Job, loop: asyncio.AbstractEventLoop) -> None:
+        """Track a new submitter: bookkeeping, warning sink, deadline."""
+        self._jobs[job.job_id] = job
+        # Mark the future's eventual exception as observed so a never-awaited
+        # submitter (cancelled, timed out, abandoned) doesn't trigger the
+        # "exception was never retrieved" warning; result() still re-raises.
+        job.future.add_done_callback(
+            lambda f: None if f.cancelled() else f.exception()
+        )
+        self.metrics.submitted += 1
+        deadline = job.deadline_s if job.deadline_s is not None else self.default_deadline_s
+        if deadline is not None:
+            job.deadline_s = deadline
+            job.deadline_handle = loop.call_later(deadline, self._expire, job)
 
     def status(self, job_id: str) -> JobStatus:
         return self._job(job_id).status()
@@ -296,19 +467,26 @@ class CompileService:
             raise  # the awaiting task itself was cancelled
 
     def cancel(self, job_id: str) -> bool:
-        """Best-effort cancel: only not-yet-started work can be cancelled.
+        """Cancel one submitter; returns ``False`` only for finished jobs.
 
         Cancelling one of several deduplicated submitters only detaches that
-        submitter; the shared compilation proceeds for the rest and is
-        abandoned (skipped by the worker) once every submitter cancels.
+        submitter; the shared compilation proceeds for the rest.  When the
+        *last* waiting submitter cancels (or times out) mid-compute, the
+        abandonment is propagated to the executor future where possible —
+        queued executor work is cancelled outright, a running compile has
+        its result discarded — and counted in ``metrics.abandonments``.
         """
         job = self._job(job_id)
         if job.cancelled:
             return True
-        if job.future.done() or job.primary.started_at is not None:
+        if job.future.done():
             return False
         job.cancelled = True
+        job.finished_at = time.perf_counter()
+        self._cancel_deadline(job)
+        job.future.cancel()
         self.metrics.cancellations += 1
+        self._maybe_abandon(job.primary)
         return True
 
     async def compile(
@@ -316,9 +494,12 @@ class CompileService:
         request: CompileRequest,
         backend: str = "advanced",
         priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> CompileResult:
         """Submit-and-await convenience for request/response callers."""
-        return await self.result(await self.submit(request, backend, priority))
+        return await self.result(
+            await self.submit(request, backend, priority, deadline_s=deadline_s)
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -326,6 +507,19 @@ class CompileService:
     def snapshot(self) -> Dict:
         """Service metrics plus per-tier cache counters, JSON-ready."""
         data = {"metrics": self.metrics.snapshot()}
+        if self.retry_policy is not None:
+            data["retry_policy"] = {
+                "max_attempts": self.retry_policy.max_attempts,
+                "budget": self.retry_policy.budget,
+                "budget_remaining": self._retry_budget_remaining(),
+            }
+        if self.breaker is not None:
+            data["breaker"] = {
+                "state": self.breaker.state,
+                "failure_threshold": self.breaker.failure_threshold,
+                "reset_timeout_s": self.breaker.reset_timeout_s,
+                "consecutive_failures": self.breaker.consecutive_failures,
+            }
         if self.memory_cache is not None:
             data["memory_cache"] = {
                 "entries": len(self.memory_cache),
@@ -340,9 +534,44 @@ class CompileService:
                 "hits": self.disk_cache.hits,
                 "misses": self.disk_cache.misses,
                 "stale_invalidations": self.disk_cache.stale_invalidations,
+                "corrupt_invalidations": self.disk_cache.corrupt_invalidations,
+                "io_errors": self.disk_cache.io_errors,
                 "evictions": self.disk_cache.evictions,
             }
         return data
+
+    # ------------------------------------------------------------------
+    # Deadlines / cancellation plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cancel_deadline(job: _Job) -> None:
+        if job.deadline_handle is not None:
+            job.deadline_handle.cancel()
+            job.deadline_handle = None
+
+    def _expire(self, job: _Job) -> None:
+        """Deadline watchdog: fail this submitter's future with JobTimedOut."""
+        job.deadline_handle = None
+        if job.future.done():
+            return
+        exc = JobTimedOut(job.job_id, job.deadline_s)
+        job.error = repr(exc)
+        job.finished_at = time.perf_counter()
+        job.future.set_exception(exc)
+        self.metrics.timeouts += 1
+        self.metrics.total.record(job.finished_at - job.submitted_at)
+        self._maybe_abandon(job.primary)
+
+    def _maybe_abandon(self, primary: _Job) -> None:
+        """If nobody is waiting anymore, pull the plug on in-flight compute."""
+        if not primary.abandoned:
+            return
+        exec_future = primary.exec_future
+        if exec_future is not None and not exec_future.done():
+            primary.abandon_requested = True
+            exec_future.cancel()
+            self.metrics.abandonments += 1
+        # A still-queued group is skipped (and counted) at dequeue time.
 
     # ------------------------------------------------------------------
     # Worker path
@@ -360,17 +589,191 @@ class CompileService:
         except KeyError:
             raise UnknownJobError(job_id) from None
 
+    def _retry_after_hint(self) -> float:
+        """Backoff estimate: queue depth × median compute time / workers."""
+        depth = self._queue.qsize() if self._queue is not None else self._max_queue
+        median_s = self.metrics.compute.percentile(50)
+        if median_s is None:
+            median_s = 0.1  # no compute samples yet; a token backoff
+        return round(max(0.05, (depth + 1) * median_s / self._n_workers), 3)
+
+    def _retry_budget_remaining(self) -> Optional[int]:
+        budget = self.retry_policy.budget if self.retry_policy else None
+        if budget is None:
+            return None
+        return max(0, budget - self.metrics.retries)
+
+    # ------------------------------------------------------------------
+    # Disk tier behind the circuit breaker
+    # ------------------------------------------------------------------
+    def _chain_breaker_callback(self, breaker: CircuitBreaker) -> None:
+        existing = breaker.on_transition
+
+        def on_transition(old_state: str, new_state: str) -> None:
+            self.metrics.record_breaker_state(breaker.state_code)
+            if new_state == BREAKER_OPEN:
+                self.metrics.breaker_opens += 1
+            elif new_state == BREAKER_CLOSED:
+                self.metrics.breaker_closes += 1
+            # Zero-length marker span: transitions are events, not intervals.
+            with get_tracer().span(
+                "service.breaker", from_state=old_state, to_state=new_state
+            ):
+                pass
+            if existing is not None:
+                existing(old_state, new_state)
+
+        breaker.on_transition = on_transition
+
+    def _breaker_allows(self) -> bool:
+        breaker = self.breaker
+        if breaker is None or breaker.allow():
+            return True
+        self.metrics.disk_degraded += 1
+        return False
+
+    def _record_disk_outcome(self, ok: bool) -> None:
+        if not ok:
+            self.metrics.disk_faults += 1
+        breaker = self.breaker
+        if breaker is not None:
+            if ok:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+
+    def _disk_get(self, key: CacheKey) -> Optional[CompileResult]:
+        disk = self.disk_cache
+        if disk is None or not self._breaker_allows():
+            return None
+        before = disk.fault_events
+        try:
+            result = disk.get(key)
+        except OSError:
+            self._record_disk_outcome(ok=False)
+            return None
+        self._record_disk_outcome(ok=disk.fault_events == before)
+        return result
+
+    def _disk_put(self, key: CacheKey, result: CompileResult) -> None:
+        disk = self.disk_cache
+        if disk is None or not self._breaker_allows():
+            return
+        before = disk.fault_events
+        try:
+            disk.put(key, result)
+        except OSError:
+            self._record_disk_outcome(ok=False)
+            return  # a failed cache write degrades; the job still succeeds
+        self._record_disk_outcome(ok=disk.fault_events == before)
+
     def _lookup(self, key: CacheKey) -> Tuple[Optional[CompileResult], Optional[str]]:
         """The cache tiers of the lookup path: memory first, then disk."""
         if self.memory_cache is not None:
             result = self.memory_cache.get(key)
             if result is not None:
                 return result, "memory"
-        if self.disk_cache is not None:
-            result = self.disk_cache.get(key)
-            if result is not None:
-                return result, "disk"
+        result = self._disk_get(key)
+        if result is not None:
+            return result, "disk"
         return None, None
+
+    # ------------------------------------------------------------------
+    # Compute with crash translation and retries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _task_cancelling() -> bool:
+        """Whether the *worker task itself* is being cancelled (shutdown)."""
+        task = asyncio.current_task()
+        cancelling = getattr(task, "cancelling", None)  # 3.11+
+        return bool(cancelling is not None and cancelling())
+
+    def _replenish_executor(self, broken: Optional[Executor]) -> None:
+        """Replace a crashed pool when the service owns one (factory mode)."""
+        if self._executor_factory is None or self._executor is not broken:
+            return  # caller-owned executor, or already replaced by a peer
+        self._executor = self._executor_factory()
+        if broken is not None:
+            broken.shutdown(wait=False)
+
+    async def _run_compute_once(self, job: _Job, compute_start: float):
+        """One executor round-trip, with worker-crash translation."""
+        loop = asyncio.get_running_loop()
+        tracer = get_tracer()
+        executor = self._executor
+        if tracer.enabled:
+            # Executor workers do not inherit the tracing contextvar;
+            # collect their span forest explicitly and rebase it at the
+            # compute start time.
+            exec_future = loop.run_in_executor(
+                executor, _compile_job_traced, (job.backend, job.request)
+            )
+        else:
+            exec_future = loop.run_in_executor(
+                executor, _compile_job, (job.backend, job.request)
+            )
+        job.exec_future = exec_future
+        try:
+            raw = await exec_future
+        except BrokenExecutor as exc:
+            self.metrics.worker_crashes += 1
+            self._replenish_executor(executor)
+            raise WorkerCrashed(
+                f"executor worker died while compiling job {job.job_id}"
+            ) from exc
+        finally:
+            job.exec_future = None
+        if tracer.enabled:
+            result, spans = raw
+            tracer.adopt(spans, at=compute_start)
+            return result
+        return raw
+
+    async def _compute_with_retries(self, job: _Job):
+        """Drive the compute step under the retry policy.
+
+        Returns the result, the ``_ABANDONED`` sentinel when every submitter
+        gave up mid-compute, or raises the final (non-retryable or
+        exhausted) failure.
+        """
+        tracer = get_tracer()
+        policy = self.retry_policy
+        token = cache_key_digest(job.key)
+        attempt = 0
+        while True:
+            try:
+                with tracer.span("service.compute", attempt=attempt):
+                    compute_start = time.perf_counter()
+                    result = await self._run_compute_once(job, compute_start)
+                self.metrics.compute.record(time.perf_counter() - compute_start)
+                return result
+            except asyncio.CancelledError:
+                if job.abandon_requested and not self._task_cancelling():
+                    return _ABANDONED
+                raise
+            except Exception as exc:
+                attempt += 1
+                retryable = policy is not None and policy.is_retryable(exc)
+                budget_left = policy is not None and (
+                    policy.budget is None or self.metrics.retries < policy.budget
+                )
+                if (
+                    not retryable
+                    or not budget_left
+                    or attempt >= policy.max_attempts
+                    or job.abandoned
+                ):
+                    raise
+                delay = policy.delay_s(attempt - 1, token)
+                self.metrics.retries += 1
+                with tracer.span(
+                    "service.retry",
+                    job_id=job.job_id,
+                    attempt=attempt,
+                    delay_s=round(delay, 4),
+                    error=type(exc).__name__,
+                ):
+                    await asyncio.sleep(delay)
 
     async def _worker(self) -> None:
         while True:
@@ -383,11 +786,14 @@ class CompileService:
 
     async def _process(self, job: _Job) -> None:
         if job.abandoned:
+            # Every submitter cancelled or timed out while the job was still
+            # queued; skip the compilation entirely.
             self._inflight.pop(job.key, None)
             finished = time.perf_counter()
-            for submitter in [job] + job.joiners:
-                submitter.finished_at = finished
-            job.future.cancel()
+            for submitter in job.group:
+                if submitter.finished_at is None:
+                    submitter.finished_at = finished
+            self.metrics.abandonments += 1
             return
         job.started_at = time.perf_counter()
         self.metrics.wait.record(job.started_at - job.submitted_at)
@@ -399,32 +805,19 @@ class CompileService:
                 with tracer.span("service.lookup"):
                     result, tier = self._lookup(job.key)
                 if result is None:
-                    loop = asyncio.get_running_loop()
-                    with tracer.span("service.compute"):
-                        compute_start = time.perf_counter()
-                        if tracer.enabled:
-                            # Executor workers do not inherit the tracing
-                            # contextvar; collect their span forest explicitly
-                            # and rebase it at the compute start time.
-                            result, spans = await loop.run_in_executor(
-                                self._executor,
-                                _compile_job_traced,
-                                (job.backend, job.request),
-                            )
-                            tracer.adopt(spans, at=compute_start)
-                        else:
-                            result = await loop.run_in_executor(
-                                self._executor, _compile_job, (job.backend, job.request)
-                            )
-                    self.metrics.compute.record(time.perf_counter() - compute_start)
+                    result = await self._compute_with_retries(job)
+                    if result is _ABANDONED:
+                        self._inflight.pop(job.key, None)
+                        return
                     tier = "compute"
-                    if self.disk_cache is not None:
-                        self.disk_cache.put(job.key, result)
+                    self._disk_put(job.key, result)
                 if self.memory_cache is not None:
                     self.memory_cache.put(job.key, result)
                 job_span.set_attribute("tier", tier)
         except asyncio.CancelledError:
-            job.future.cancel()  # service shutdown mid-compile
+            for submitter in job.group:
+                if not submitter.future.done():
+                    submitter.future.cancel()  # service shutdown mid-compile
             raise
         except Exception as exc:
             self._finish(job, error=exc)
@@ -435,18 +828,22 @@ class CompileService:
     def _finish(self, job: _Job, result=None, error=None) -> None:
         finished = time.perf_counter()
         self._inflight.pop(job.key, None)
-        for submitter in [job] + job.joiners:
-            submitter.finished_at = finished
-            if submitter.cancelled:
-                continue
+        for submitter in job.group:
+            self._cancel_deadline(submitter)
+            if submitter.finished_at is None:
+                submitter.finished_at = finished
+            if submitter.future.done():
+                continue  # cancelled or timed out; already settled
             self.metrics.total.record(finished - submitter.submitted_at)
             if error is None:
                 tier = job.tier if submitter is job else "dedup"
                 submitter.tier = tier
                 self.metrics.count_tier(tier)
+                submitter.future.set_result(result)
+            else:
+                submitter.error = repr(error)
+                submitter.future.set_exception(error)
         if error is not None:
-            job.error = repr(error)
+            if job.error is None:
+                job.error = repr(error)
             self.metrics.failures += 1
-            job.future.set_exception(error)
-        else:
-            job.future.set_result(result)

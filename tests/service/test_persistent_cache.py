@@ -307,3 +307,75 @@ class TestMultiProcess:
         monkeypatch.undo()
         assert cache.peek(make_key()) is None
         assert list(tmp_path.rglob("*.tmp")) == []
+        assert cache.io_errors == 1
+
+
+class TestVacuumVsConcurrentWriters:
+    """Regression: vacuum racing a writer must not eat mid-write temp files."""
+
+    def _plant_tmp(self, cache, tmp_path, age_s=0.0):
+        """A torn mid-write temporary, as mkstemp leaves it during put()."""
+        shard = tmp_path / "ab"
+        shard.mkdir(exist_ok=True)
+        tmp_file = shard / "abcdef0123456789deadbeef.tmp"
+        tmp_file.write_bytes(b"\x80\x04 torn mid-write")
+        if age_s:
+            past = time.time() - age_s
+            os.utime(tmp_file, (past, past))
+        return tmp_file
+
+    def test_fresh_tmp_file_survives_vacuum(self, tmp_path):
+        cache = PersistentCompileCache(tmp_path)
+        cache.put(make_key(), make_result())
+        tmp_file = self._plant_tmp(cache, tmp_path)
+        assert cache.vacuum() == 0
+        assert tmp_file.exists()  # the concurrent writer keeps its file
+        assert cache.peek(make_key()) is not None
+        assert cache.stale_invalidations == 0
+
+    def test_aged_tmp_orphan_is_swept(self, tmp_path):
+        cache = PersistentCompileCache(tmp_path)
+        tmp_file = self._plant_tmp(cache, tmp_path, age_s=7200.0)
+        assert cache.vacuum() == 1
+        assert not tmp_file.exists()
+        # Orphan sweeps are not stale-entry invalidations.
+        assert cache.stale_invalidations == 0
+
+    def test_tmp_age_threshold_is_configurable(self, tmp_path):
+        cache = PersistentCompileCache(tmp_path)
+        tmp_file = self._plant_tmp(cache, tmp_path, age_s=10.0)
+        assert cache.vacuum() == 0  # default hour-long grace
+        assert tmp_file.exists()
+        assert cache.vacuum(tmp_max_age_s=1.0) == 1
+        assert not tmp_file.exists()
+
+
+class TestIOErrorAccounting:
+    def test_read_io_error_is_a_miss_that_keeps_the_entry(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        cache = PersistentCompileCache(tmp_path)
+        key = make_key()
+        cache.put(key, make_result(13))
+        real_read_bytes = Path.read_bytes
+
+        def denied(self):
+            raise PermissionError("injected permission flip")
+
+        monkeypatch.setattr(Path, "read_bytes", denied)
+        assert cache.get(key) is None  # degraded to a miss...
+        monkeypatch.setattr(Path, "read_bytes", real_read_bytes)
+        assert cache.io_errors == 1
+        assert cache.corrupt_invalidations == 0
+        result = cache.get(key)  # ...but the entry itself survived
+        assert result is not None and result.cnot_count == 13
+
+    def test_fault_events_totals_corruption_and_io(self, tmp_path):
+        cache = PersistentCompileCache(tmp_path)
+        key = make_key()
+        cache.put(key, make_result())
+        cache.entry_path(key).write_bytes(b"\x80\x04 torn")
+        assert cache.get(key) is None
+        cache.io_errors += 1  # as a service-layer OSError would count it
+        assert cache.fault_events == cache.corrupt_invalidations + cache.io_errors == 2
+        assert cache.stats()["counters"]["io_errors"] == 1

@@ -12,6 +12,12 @@ second session serve from disk::
 Every (molecule, n_terms, backend) job is submitted ``--repeat`` times;
 repeats within one session exercise the dedup/memory tiers, repeats across
 sessions exercise the disk tier.
+
+Submission honors the service's backpressure contract: when the queue is
+full, :class:`~repro.service.ServiceOverloadedError` carries the service's
+own ``retry_after_s`` estimate, and this client sleeps exactly that long
+before retrying (``--max-queue`` shrinks the queue if you want to watch it
+happen; ``--deadline`` arms a per-job deadline).
 """
 
 from __future__ import annotations
@@ -31,8 +37,32 @@ from repro.chemistry import (  # noqa: E402
     make_molecule,
     run_rhf,
 )
-from repro.service import CompileService, PersistentCompileCache  # noqa: E402
+from repro.service import (  # noqa: E402
+    CompileService,
+    PersistentCompileCache,
+    ServiceOverloadedError,
+)
 from repro.vqe import hmp2_ranked_terms  # noqa: E402
+
+
+async def submit_with_backoff(service, request, backend, deadline_s=None,
+                              max_retries=32):
+    """Submit one job, backing off by the service's own ``retry_after_s`` hint.
+
+    The hint is queue depth × recent median compute time spread over the
+    workers, so the client sleeps proportionally to the actual overload
+    instead of a fixed or guessed interval.
+    """
+    for _ in range(max_retries):
+        try:
+            return await service.submit(request, backend=backend,
+                                        deadline_s=deadline_s)
+        except ServiceOverloadedError as exc:
+            delay = exc.retry_after_s if exc.retry_after_s is not None else 0.05
+            await asyncio.sleep(delay)
+    raise ServiceOverloadedError(
+        f"queue still full after {max_retries} backoff retries"
+    )
 
 
 def build_requests(molecule: str, n_terms: int, seed: int):
@@ -56,12 +86,18 @@ async def serve(args) -> dict:
     requests = build_requests(args.molecule, args.n_terms, args.seed)
     backends = [name.strip() for name in args.backends.split(",") if name.strip()]
     disk = PersistentCompileCache(args.cache_dir)
-    async with CompileService(disk_cache=disk, n_workers=args.workers) as service:
+    async with CompileService(
+        disk_cache=disk, n_workers=args.workers, max_queue=args.max_queue
+    ) as service:
         job_ids = []
         for _ in range(args.repeat):
             for request in requests:
                 for backend in backends:
-                    job_ids.append(await service.submit(request, backend=backend))
+                    job_ids.append(
+                        await submit_with_backoff(
+                            service, request, backend, deadline_s=args.deadline
+                        )
+                    )
         results = [await service.result(job_id) for job_id in job_ids]
         snapshot = service.snapshot()
     snapshot["jobs"] = [
@@ -80,6 +116,10 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--cache-dir", default=".compile-cache")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="queue bound; a full queue triggers retry_after_s backoff")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-job deadline in seconds (default: none)")
     args = parser.parse_args(argv)
 
     snapshot = asyncio.run(serve(args))
