@@ -27,6 +27,17 @@ is a threshold, not an exact count:
   must cost under ``DISABLED_OVERHEAD_CEILING_NS`` on top of a no-op call,
   preserving the ``repro.obs``-style disabled-path contract.
 
+A second scenario gates the *batch* robustness layer: a 50-job
+:func:`~repro.api.compile_batch` run on a 2-worker process pool is killed
+mid-run by a pinned ``pool.worker`` kill schedule (workers die via
+``os._exit``), then resumed over the same checkpoint directory with faults
+off.  Gates: the resume completes every job (rate exactly 100 %), recompiles
+**zero** journaled jobs (ceiling 0) and at most the jobs the kill lost
+(ceiling = kill victims), and the merged outcome is bit-identical to an
+uninterrupted run.  The scenario needs the ``fork`` start method (pool
+children inherit the active plan); elsewhere it is reported as skipped and
+its gates don't apply.
+
 The chaos run executes under an enabled tracer; the span forest (including
 ``service.retry`` and ``service.breaker`` events) is exported as a Chrome
 trace to ``TRACE_chaos.json`` and the metric report to ``BENCH_chaos.json``;
@@ -42,6 +53,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import multiprocessing
 import pickle
 import platform
 import sys
@@ -53,7 +65,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import faults  # noqa: E402
-from repro.api import CompileRequest, CompilerConfig  # noqa: E402
+from repro.api import CompileRequest, CompilerConfig, compile_batch  # noqa: E402
 from repro.faults import inject  # noqa: E402
 from repro.obs import chrome_trace, validate_chrome_trace  # noqa: E402
 from repro.obs.tracer import tracing  # noqa: E402
@@ -89,6 +101,14 @@ DISABLED_OVERHEAD_CEILING_NS = 1000.0
 #: Retry/breaker tuning for the chaos run (also part of the pinned schedule).
 RETRY_POLICY = RetryPolicy(max_attempts=6, base_delay_s=0.002, max_delay_s=0.02)
 BREAKER = dict(failure_threshold=2, reset_timeout_s=0.01, probe_successes=1)
+
+#: Batch-resume scenario: pinned kill schedule for the 2-worker process pool.
+#: With this seed every forked worker dies at the start of its 7th job, so a
+#: deterministic slice of the batch survives (and is journaled) before the
+#: pool breaks.
+BATCH_N_JOBS = 50
+BATCH_KILL_SEED = 2
+BATCH_KILL_SPEC = f"seed={BATCH_KILL_SEED};pool.worker=kill:0.15"
 
 
 def workload_requests():
@@ -195,6 +215,71 @@ async def run_workload(cache_dir: str, plan_spec: str = None) -> dict:
     return report
 
 
+def batch_requests():
+    """50 distinct tiny advanced-pipeline jobs (distinct seeds, shared terms)."""
+    config = CompilerConfig(
+        gamma_steps=1, sorting_population=2, sorting_generations=1, coloring_orders=1
+    )
+    terms = (
+        ExcitationTerm(creation=(4, 7), annihilation=(0, 3)),
+        ExcitationTerm(creation=(6,), annihilation=(2,)),
+    )
+    return [
+        CompileRequest(terms=terms, n_qubits=8, config=config.replace(seed=index))
+        for index in range(BATCH_N_JOBS)
+    ]
+
+
+def run_batch_scenario():
+    """Kill a checkpointed pool batch mid-run, resume it, gate the outcome.
+
+    Returns the scenario report, or ``None`` when the platform's process
+    start method isn't ``fork`` (the kill schedule can't reach pool children
+    there, so the scenario — and its gates — don't apply).
+    """
+    if multiprocessing.get_start_method() != "fork":
+        return None
+    requests = batch_requests()
+    with tempfile.TemporaryDirectory(prefix="bench-chaos-batch-") as checkpoint_dir:
+        with inject(BATCH_KILL_SPEC):
+            killed = compile_batch(
+                requests,
+                backends="advanced",
+                workers=2,
+                checkpoint_dir=checkpoint_dir,
+                on_error="collect",
+            )
+        resumed = compile_batch(
+            requests,
+            backends="advanced",
+            workers=2,
+            checkpoint_dir=checkpoint_dir,
+            on_error="collect",
+        )
+    clean = compile_batch(requests, backends="advanced", workers=1)
+
+    rows_complete = sum(1 for row in resumed.results if "advanced" in row)
+    bit_identical = rows_complete == BATCH_N_JOBS and all(
+        result_payload(resumed_row["advanced"]) == result_payload(clean_row["advanced"])
+        for resumed_row, clean_row in zip(resumed.results, clean.results)
+    )
+    #: Journaled jobs the resume re-executed anyway — must be zero.
+    journaled_recompiles = len(
+        set(killed.report.compiled) - set(resumed.report.skipped)
+    )
+    return {
+        "n_jobs": BATCH_N_JOBS,
+        "survived_kill": len(killed.report.compiled),
+        "failed_by_kill": len(killed.report.failed),
+        "resume_skipped": len(resumed.report.skipped),
+        "resume_recompiled": len(resumed.report.compiled),
+        "resume_failed": len(resumed.report.failed),
+        "journaled_recompiles": journaled_recompiles,
+        "completion_rate": rows_complete / BATCH_N_JOBS,
+        "bit_identical_to_clean": bit_identical,
+    }
+
+
 def measure_disabled_overhead(calls: int = 200_000) -> float:
     """Per-call ns cost of faults.fire() with no active plan, minus a no-op."""
     assert faults.active_plan() is None
@@ -248,6 +333,7 @@ def main() -> None:
     chaos_p99 = chaos["metrics"]["latency"]["total"]["p99_ms"]
     added_p99_ms = chaos_p99 - clean_p99
     overhead_ns = measure_disabled_overhead()
+    batch = run_batch_scenario()
 
     report = {
         "env": {
@@ -278,12 +364,19 @@ def main() -> None:
             "added_p99_ms": round(added_p99_ms, 3),
             "disabled_fire_overhead_ns": round(overhead_ns, 1),
         },
+        "batch_resume": batch if batch is not None else {
+            "skipped": "process start method is not fork"
+        },
         "gates": {
             "completion_rate": 1.0,
             "added_p99_ceiling_ms": P99_ADDED_CEILING_MS,
             "disabled_overhead_ceiling_ns": DISABLED_OVERHEAD_CEILING_NS,
             "breaker_opens_min": 1,
             "breaker_closes_min": 1,
+            "batch_resume_completion_rate": 1.0,
+            "batch_journaled_recompiles_ceiling": 0,
+            "batch_survived_kill_min": 1,
+            "batch_failed_by_kill_min": 1,
         },
     }
 
@@ -304,6 +397,24 @@ def main() -> None:
           f"(ceiling {P99_ADDED_CEILING_MS:.0f} ms)")
     print(f"disabled fire()     : {summary['disabled_fire_overhead_ns']:9.1f} ns/call "
           f"(ceiling {DISABLED_OVERHEAD_CEILING_NS:.0f} ns)")
+    if batch is None:
+        batch_ok = True
+        print("batch resume        : skipped (process start method is not fork)")
+    else:
+        batch_ok = (
+            batch["completion_rate"] == 1.0
+            and batch["bit_identical_to_clean"]
+            and batch["journaled_recompiles"] == 0
+            and batch["resume_failed"] == 0
+            and batch["survived_kill"] >= 1
+            and batch["failed_by_kill"] >= 1
+            and batch["resume_recompiled"] <= batch["failed_by_kill"]
+        )
+        print(f"batch resume        : {batch['survived_kill']} journaled before kill, "
+              f"{batch['failed_by_kill']} lost, "
+              f"{batch['resume_recompiled']} recompiled on resume "
+              f"({batch['journaled_recompiles']} journaled recompiles, ceiling 0), "
+              f"bit-identical = {batch['bit_identical_to_clean']}")
     print(f"wrote {output} and {trace_path} ({n_trace_events} trace events)")
 
     ok = (
@@ -314,6 +425,7 @@ def main() -> None:
         and summary["breaker_closes"] >= 1
         and added_p99_ms <= P99_ADDED_CEILING_MS
         and overhead_ns <= DISABLED_OVERHEAD_CEILING_NS
+        and batch_ok
     )
     print(f"chaos gates: {'PASS' if ok else 'FAIL'}")
     if not ok:

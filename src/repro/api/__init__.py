@@ -40,19 +40,31 @@ from repro.api.backends import (
     register_default_backends,
 )
 from repro.api.batch import (
+    FALLBACK_RETRYABLE,
     BackendResults,
+    BatchReport,
     BatchResult,
     CompileCache,
+    FallbackRecord,
+    JobFailure,
     cache_key_digest,
     compile_batch,
 )
+from repro.api.checkpoint import BatchCheckpoint
 from repro.api.config import CompilerConfig
+from repro.core.pipeline import StageFailure
 
 __all__ = [
     "BackendRegistrationError",
     "BackendResults",
+    "BatchCheckpoint",
+    "BatchReport",
     "BatchResult",
     "CompileCache",
+    "FALLBACK_RETRYABLE",
+    "FallbackRecord",
+    "JobFailure",
+    "StageFailure",
     "CompileRequest",
     "CompileResult",
     "CompilerBackend",

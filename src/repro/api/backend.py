@@ -99,6 +99,16 @@ class CompileResult:
     name → wall seconds for staged flows (the advanced pipeline), ``None``
     for single-step flows; ``run_table1 --trace`` and the obs span tree
     report from it.
+
+    ``degraded`` is True when any optimizer stage hit its anytime budget
+    (``CompilerConfig.gamma_budget_steps`` / ``sorting_budget_generations``)
+    and returned its best-so-far answer; ``degraded_stages`` names the
+    truncated stages.  A degraded result is still a valid, verifiable
+    circuit — the flag reports that the configured search effort was cut
+    short, not that the output is wrong.  Both are excluded from equality:
+    a degraded compile of the same request may legitimately report a
+    different (no better) CNOT count, and equality keeps meaning "same
+    headline numbers".
     """
 
     backend: str
@@ -111,6 +121,8 @@ class CompileResult:
     stage_timings: Optional[Dict[str, float]] = field(
         compare=False, default=None, repr=False
     )
+    degraded: bool = field(compare=False, default=False)
+    degraded_stages: Optional[Tuple[str, ...]] = field(compare=False, default=None)
 
 
 @runtime_checkable

@@ -243,6 +243,8 @@ class AdvancedBackend:
                 ]
                 routing = sequence_routing_metrics(sequence, request.config)
             compile_span.set_attribute("cnot_count", result.cnot_count)
+            if result.degraded:
+                compile_span.set_attribute("degraded", True)
         return CompileResult(
             backend=self.name,
             cnot_count=result.cnot_count,
@@ -252,6 +254,8 @@ class AdvancedBackend:
             details=result,
             routing=routing,
             stage_timings=dict(result.stage_seconds),
+            degraded=result.degraded,
+            degraded_stages=result.degraded_stages if result.degraded else None,
         )
 
 

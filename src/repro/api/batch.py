@@ -15,6 +15,21 @@ not help).
 >>> compile_batch(requests, backends="advanced", cache=cache).cache_hits  # warm
 len(requests)
 
+Batches are *resumable* and *degradable*:
+
+* ``checkpoint_dir=`` journals every completed job in a crash-safe on-disk
+  :class:`~repro.api.checkpoint.BatchCheckpoint`; a batch killed mid-run
+  (crash, OOM, SIGKILL) resumes by recompiling only the missing jobs and
+  serves the journaled results verbatim (bit-identical to an uninterrupted
+  run).
+* ``fallback=("gt", "jw")`` retries a job whose backend failed with a typed
+  stage failure (or an I/O / worker-pool error) on the next backend in the
+  chain, in-process, recording the substitution in the report.
+* ``on_error="collect"`` isolates per-job failures into
+  ``BatchResult.report.failed`` instead of aborting the whole batch
+  (``"raise"``, the historical default, propagates the first unrecovered
+  failure — completed jobs are still journaled first).
+
 Worker processes resolve backends by name from their own registry.  The four
 default backends are always available there; custom backends reach workers
 only on platforms whose process start method is ``fork`` (Linux), because a
@@ -29,9 +44,14 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro import faults
 from repro.api.backend import (
@@ -40,7 +60,21 @@ from repro.api.backend import (
     canonical_backend_name,
     get_backend,
 )
+from repro.core.pipeline import StageFailure
+from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer, tracing
+
+#: Failure classes a backend-fallback chain retries on: typed pipeline stage
+#: failures, I/O errors (incl. injected faults), and broken worker pools.
+#: Input-validation errors (ValueError/TypeError) are deliberately excluded —
+#: a request every backend would reject should fail, not burn the chain.
+FALLBACK_RETRYABLE: Tuple[type, ...] = (StageFailure, OSError, BrokenExecutor)
+
+#: Batch-robustness traffic, in the global obs registry.
+_BATCH_FALLBACKS = get_metrics().counter("batch.fallbacks")
+_BATCH_SKIPPED = get_metrics().counter("batch.checkpoint.skipped")
+_BATCH_CHECKPOINT_ERRORS = get_metrics().counter("batch.checkpoint.errors")
+_BATCH_FAILURES = get_metrics().counter("batch.failures")
 
 #: A memoization key: (request fingerprint, canonical backend name).
 CacheKey = Tuple[Hashable, str]
@@ -159,12 +193,68 @@ class BackendResults(Dict[str, CompileResult]):
             return default
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """One batch job that failed after exhausting its fallback chain.
+
+    ``attempts`` lists every ``(backend, error repr)`` tried, the job's
+    primary backend first; ``error`` repeats the primary backend's error.
+    """
+
+    digest: str
+    backend: str
+    error: str
+    attempts: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class FallbackRecord:
+    """One batch job completed by a fallback backend after failures.
+
+    ``failed`` names the backends that raised, in the order tried (the job's
+    primary backend first); ``succeeded`` is the backend whose result the
+    job's row carries.
+    """
+
+    digest: str
+    failed: Tuple[str, ...]
+    succeeded: str
+
+
+@dataclass
+class BatchReport:
+    """Per-job accounting of one :func:`compile_batch` run.
+
+    All jobs are identified by their :func:`cache_key_digest`.  ``compiled``
+    are the jobs executed this run (including fallback completions);
+    ``skipped`` were served from the checkpoint journal of a previous run;
+    ``failed`` exhausted every backend (only populated under
+    ``on_error="collect"``); ``fallbacks`` details each backend
+    substitution.  Jobs served by the in-memory cache appear in none of
+    these — they cost nothing and are visible in ``BatchResult.cache_hits``.
+    """
+
+    compiled: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    failed: List[JobFailure] = field(default_factory=list)
+    fallbacks: List[FallbackRecord] = field(default_factory=list)
+
+    @property
+    def failed_digests(self) -> Tuple[str, ...]:
+        return tuple(failure.digest for failure in self.failed)
+
+
 @dataclass
 class BatchResult:
     """Outcome of one :func:`compile_batch` call.
 
     ``results`` holds one mapping per input request, keyed by canonical
-    backend name (alias lookup works too), in request order.
+    backend name (alias lookup works too), in request order.  A job that
+    failed under ``on_error="collect"`` is *absent* from its row (lookup
+    raises ``KeyError``, ``row.get(name)`` returns ``None``); consult
+    ``report.failed`` for the error.  A job completed by a fallback backend
+    carries that backend's result (``result.backend`` names it) under the
+    requested backend's row key.
     """
 
     results: List[BackendResults]
@@ -172,6 +262,7 @@ class BatchResult:
     cache_hits: int
     cache_misses: int
     wall_time_s: float
+    report: BatchReport = field(default_factory=BatchReport)
 
     def cnot_counts(self, backend: str) -> List[int]:
         """The per-request CNOT counts of one backend, in request order."""
@@ -207,21 +298,41 @@ def _compile_job_traced(job: Tuple[str, CompileRequest]):
         return result, tracer.export()
 
 
-def _map_jobs(map_fn, jobs, tracer) -> List[CompileResult]:
-    """Run jobs through an executor's ``map``, collecting worker spans.
+def _run_jobs_incremental(
+    executor: Executor,
+    jobs: Sequence[Tuple[CacheKey, Tuple[str, CompileRequest]]],
+    tracer,
+    complete: Callable[[CacheKey, str, CompileRequest, CompileResult], None],
+    settle_failure: Callable[[CacheKey, str, CompileRequest, BaseException], None],
+) -> None:
+    """Submit every job and handle each outcome *as it completes*.
 
-    With the tracer enabled the jobs go through :func:`_compile_job_traced`
-    and every worker's span forest is adopted under the current span (the
-    enclosing ``batch.compile_batch``); disabled, this is exactly the old
-    ``map(_compile_job, ...)`` path.
+    Unlike the historical ``executor.map`` path, results reach ``complete``
+    (cache put + checkpoint record) the moment their future resolves, so a
+    batch killed mid-run keeps every job finished before the kill.  With the
+    tracer enabled, jobs go through :func:`_compile_job_traced` and each
+    worker's span forest is adopted under the current span.  A broken pool
+    fails only the unfinished jobs (each reaches ``settle_failure`` with the
+    ``BrokenExecutor`` error); already-resolved futures keep their results.
     """
-    if not tracer.enabled:
-        return list(map_fn(_compile_job, [job for _, job in jobs]))
-    compiled: List[CompileResult] = []
-    for result, spans in map_fn(_compile_job_traced, [job for _, job in jobs]):
-        tracer.adopt(spans)
-        compiled.append(result)
-    return compiled
+    fn = _compile_job_traced if tracer.enabled else _compile_job
+    futures = {
+        executor.submit(fn, (name, request)): (key, name, request)
+        for key, (name, request) in jobs
+    }
+    for future in as_completed(futures):
+        key, name, request = futures[future]
+        try:
+            outcome = future.result()
+        except Exception as exc:
+            settle_failure(key, name, request, exc)
+            continue
+        if tracer.enabled:
+            result, spans = outcome
+            tracer.adopt(spans)
+        else:
+            result = outcome
+        complete(key, name, request, result)
 
 
 def _check_worker_backends(canonical_names: Sequence[str]) -> None:
@@ -252,6 +363,9 @@ def compile_batch(
     workers: int = 1,
     cache: Optional[CompileCache] = None,
     executor: Optional[Executor] = None,
+    checkpoint_dir=None,
+    fallback: Union[str, Sequence[str]] = (),
+    on_error: str = "raise",
 ) -> BatchResult:
     """Compile every request with every backend, memoized and deduplicated.
 
@@ -273,6 +387,24 @@ def compile_batch(
         on instead of a per-call pool, so many small batches (e.g. one per
         Table-I row) amortize one pool's startup cost.  Overrides ``workers``;
         the caller shuts it down.
+    checkpoint_dir:
+        Directory for a crash-safe :class:`~repro.api.checkpoint.BatchCheckpoint`
+        journal.  Every completed job is recorded the moment it finishes; a
+        rerun over the same directory serves journaled jobs verbatim
+        (``report.skipped``) and recompiles only the rest, making a batch
+        killed mid-run resumable with bit-identical results.
+    fallback:
+        Backend name(s) to retry a job on when its backend fails with a
+        :data:`FALLBACK_RETRYABLE` error (typed stage failure, I/O error,
+        broken worker pool).  Tried in order, in-process; the first success
+        fills the job's row (under the originally requested backend's key)
+        and is recorded in ``report.fallbacks``.
+    on_error:
+        ``"raise"`` (default): the first failure that survives the fallback
+        chain propagates — jobs already completed are journaled and cached
+        first, and any pool is shut down.  ``"collect"``: per-job isolation —
+        the batch finishes, failed jobs land in ``report.failed`` and are
+        absent from their result rows.
     """
     requests = list(requests)
     if isinstance(backends, str):
@@ -280,12 +412,27 @@ def compile_batch(
     canonical_names = tuple(canonical_backend_name(name) for name in backends)
     if len(set(canonical_names)) != len(canonical_names):
         raise ValueError(f"duplicate backends requested: {canonical_names}")
+    if isinstance(fallback, str):
+        fallback = (fallback,)
+    fallback_chain = tuple(canonical_backend_name(name) for name in fallback)
+    if on_error not in ("raise", "collect"):
+        raise ValueError("on_error must be 'raise' or 'collect'")
     if workers > 1 and executor is None:
         _check_worker_backends(canonical_names)
     cache = cache if cache is not None else CompileCache()
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from repro.api.checkpoint import BatchCheckpoint  # late: avoids cycle
+
+        checkpoint = BatchCheckpoint(checkpoint_dir)
 
     start = time.perf_counter()
     hits_before, misses_before = cache.hits, cache.misses
+    report = BatchReport()
+    #: Every key's final result, whatever produced it (cache, journal,
+    #: compile, fallback); rows are assembled from here, never from the
+    #: shared cache, which only holds honest per-backend entries.
+    resolved: Dict[CacheKey, CompileResult] = {}
 
     # One lookup per (request, backend) pair; identical pairs collapse onto
     # the same key, so each distinct job is compiled at most once.  A pair
@@ -298,33 +445,132 @@ def compile_batch(
     pending: Dict[CacheKey, Tuple[str, CompileRequest]] = {}
     for request, request_keys in zip(requests, keys):
         for key, name in zip(request_keys, canonical_names):
-            if key in pending:
+            if key in pending or key in resolved:
                 cache.hits += 1  # deduplicated within this batch, costs nothing
-            elif cache.get(key) is None:  # get() counts the hit or miss
-                pending[key] = (name, request)
+                continue
+            cached = cache.get(key)  # get() counts the hit or miss
+            if cached is not None:
+                resolved[key] = cached
+                continue
+            if checkpoint is not None:
+                journaled = checkpoint.lookup(key)
+                if journaled is not None:
+                    # A previous (possibly killed) run finished this job;
+                    # serve its result verbatim so resume is bit-identical.
+                    resolved[key] = journaled
+                    report.skipped.append(cache_key_digest(key))
+                    _BATCH_SKIPPED.inc()
+                    if journaled.backend == name:
+                        cache.put(key, journaled)
+                    continue
+            pending[key] = (name, request)
 
     jobs = list(pending.items())
     tracer = get_tracer()
+
+    def record_checkpoint(key, result):
+        """Journal one completed job; a failed write degrades, never aborts.
+
+        The job *succeeded* — losing its journal record only costs a
+        recompile on resume, so an I/O failure here (full disk, injected
+        ``checkpoint.write`` fault) is counted and swallowed rather than
+        failing the batch.
+        """
+        if checkpoint is None:
+            return
+        try:
+            checkpoint.record(key, result)
+        except OSError:
+            _BATCH_CHECKPOINT_ERRORS.inc()
+
+    def complete(key, name, request, result):
+        """Cache, journal and record one finished job — called incrementally."""
+        resolved[key] = result
+        cache.put(key, result)
+        record_checkpoint(key, result)
+        report.compiled.append(cache_key_digest(key))
+
+    def settle_failure(key, name, request, exc):
+        """Walk the fallback chain; collect or re-raise an unrecovered failure."""
+        digest = cache_key_digest(key)
+        attempts = [(name, repr(exc))]
+        if isinstance(exc, FALLBACK_RETRYABLE):
+            for fb_name in fallback_chain:
+                if fb_name == name:
+                    continue
+                try:
+                    # In-process (never on a possibly-broken pool); obs spans
+                    # nest under batch.compile_batch naturally.
+                    with tracer.span("batch.fallback", digest=digest, backend=fb_name):
+                        result = _compile_job((fb_name, request))
+                except Exception as fb_exc:
+                    attempts.append((fb_name, repr(fb_exc)))
+                    continue
+                resolved[key] = result
+                # The shared cache stays honest: the fallback result is cached
+                # under its *own* backend's key, never the failed primary's.
+                cache.put(CompileCache.key(request, fb_name), result)
+                # The journal is a batch artifact ("this job is done"), so it
+                # records under the job's primary key — resume must serve
+                # this same result, not retry the failed backend.
+                record_checkpoint(key, result)
+                report.compiled.append(digest)
+                report.fallbacks.append(
+                    FallbackRecord(
+                        digest=digest,
+                        failed=tuple(attempt_name for attempt_name, _ in attempts),
+                        succeeded=fb_name,
+                    )
+                )
+                _BATCH_FALLBACKS.inc()
+                return
+        _BATCH_FAILURES.inc()
+        if on_error == "raise":
+            raise exc
+        report.failed.append(
+            JobFailure(
+                digest=digest, backend=name, error=repr(exc), attempts=tuple(attempts)
+            )
+        )
+
     with tracer.span(
         "batch.compile_batch",
         n_requests=len(requests),
         n_jobs=len(jobs),
         backends=",".join(canonical_names),
-    ):
+    ) as batch_span:
         if executor is not None and len(jobs) > 1:
-            compiled = _map_jobs(executor.map, jobs, tracer)
+            _run_jobs_incremental(executor, jobs, tracer, complete, settle_failure)
         elif workers > 1 and len(jobs) > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                compiled = _map_jobs(pool.map, jobs, tracer)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            try:
+                _run_jobs_incremental(pool, jobs, tracer, complete, settle_failure)
+            finally:
+                # Always executed — job failure, on_error="raise" propagation,
+                # KeyboardInterrupt: pending jobs are cancelled, running ones
+                # joined, and no worker process is leaked.
+                pool.shutdown(wait=True, cancel_futures=True)
         else:
             # In-process: spans from each backend nest under this one naturally.
-            compiled = [_compile_job(job) for _, job in jobs]
-        for (key, _), result in zip(jobs, compiled):
-            cache.put(key, result)
+            for key, (name, request) in jobs:
+                try:
+                    result = _compile_job((name, request))
+                except Exception as exc:
+                    settle_failure(key, name, request, exc)
+                else:
+                    complete(key, name, request, result)
+        if report.skipped:
+            batch_span.set_attribute("n_skipped", len(report.skipped))
+        if report.fallbacks:
+            batch_span.set_attribute("n_fallbacks", len(report.fallbacks))
+        if report.failed:
+            batch_span.set_attribute("n_failed", len(report.failed))
 
     results: List[BackendResults] = [
         BackendResults(
-            (name, cache.peek(key)) for key, name in zip(request_keys, canonical_names)
+            (name, resolved[key])
+            for key, name in zip(request_keys, canonical_names)
+            if key in resolved
         )
         for request_keys in keys
     ]
@@ -335,4 +581,5 @@ def compile_batch(
         cache_hits=cache.hits - hits_before,
         cache_misses=cache.misses - misses_before,
         wall_time_s=time.perf_counter() - start,
+        report=report,
     )

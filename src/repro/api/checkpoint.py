@@ -1,0 +1,119 @@
+"""Crash-safe batch checkpoint journal for resumable :func:`compile_batch` runs.
+
+A :class:`BatchCheckpoint` records each completed batch job — keyed by the
+job's :data:`~repro.api.batch.CacheKey` digest — in an append-only on-disk
+journal, so a batch killed mid-run (crash, OOM, SIGKILL, chaos ``kill``
+fault) resumes by recompiling only the jobs whose records are missing.  The
+journal rides on :class:`repro.service.PersistentCompileCache`, inheriting
+its write discipline wholesale:
+
+* **atomic records** — every record is written to a tempfile and published
+  with ``os.replace`` + fsync, so a kill mid-write never leaves a torn
+  record visible (at worst the job is re-run, never mis-served);
+* **versioning** — records carry the
+  :func:`~repro.service.cache.golden_version_stamp`, so a checkpoint taken
+  before a change that moves compilation output is wholesale-invalidated
+  rather than silently resumed into wrong results;
+* **key verification** — each record stores its full key and is verified on
+  read, so a digest collision or a hand-edited journal cannot serve the
+  wrong job's result.
+
+The journal is a *batch artifact*, not a semantic cache: a record means
+"this job finished, with this result".  In particular a job completed by a
+fallback backend is journaled under the job's primary key — resuming serves
+the identical result instead of retrying the failed primary backend, which
+is what makes resume bit-identical to the uninterrupted run.
+
+The module imports :mod:`repro.service.cache` lazily (inside methods):
+``repro.api.batch`` imports this module, and ``repro.service`` imports
+``repro.api.batch``, so a module-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro import faults
+from repro.api.backend import CompileResult
+from repro.api.batch import CacheKey, cache_key_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.cache import PersistentCompileCache
+
+
+class BatchCheckpoint:
+    """Append-only journal of completed batch jobs under a directory.
+
+    Parameters
+    ----------
+    directory:
+        Journal root, created if missing.  Safe to share between a crashed
+        run and its resume; every record write is atomic.
+    version:
+        Version stamp accepted on read and written into new records.
+        Defaults to :func:`~repro.service.cache.golden_version_stamp`, so
+        stale checkpoints from a different code state are ignored (their
+        jobs recompile) instead of resumed into wrong results.
+
+    The ``checkpoint.write`` fault site fires on every :meth:`record` (before
+    the disk write), so chaos tests can kill or fail a run exactly at the
+    journaling boundary.
+    """
+
+    def __init__(self, directory, version: Optional[str] = None):
+        from repro.service.cache import PersistentCompileCache  # late: cycle
+
+        self._cache: "PersistentCompileCache" = PersistentCompileCache(
+            directory, version=version
+        )
+        #: Records served to the current batch (digest → result); lets one
+        #: batch look records up repeatedly without re-reading disk.
+        self._seen: Dict[str, CompileResult] = {}
+
+    @property
+    def directory(self):
+        """The journal root path."""
+        return self._cache.root
+
+    @property
+    def version(self) -> str:
+        """Version stamp new records are written with."""
+        return self._cache.version
+
+    def lookup(self, key: CacheKey) -> Optional[CompileResult]:
+        """The journaled result of a completed job, or ``None``.
+
+        A hit means the job finished in a previous (possibly killed) run
+        under the same version stamp; the stored result is returned verbatim
+        so a resumed batch is bit-identical to an uninterrupted one.
+        """
+        digest = cache_key_digest(key)
+        cached = self._seen.get(digest)
+        if cached is not None:
+            return cached
+        result = self._cache.peek(key)
+        if result is not None:
+            self._seen[digest] = result
+        return result
+
+    def record(self, key: CacheKey, result: CompileResult) -> None:
+        """Atomically journal ``key``'s job as completed with ``result``.
+
+        Raises ``OSError`` on write failure (full disk, injected
+        ``checkpoint.write`` fault) — the caller decides whether to degrade
+        (the job completed; only its resumability is lost) or abort.
+        """
+        faults.fire("checkpoint.write", digest=cache_key_digest(key))
+        self._cache.put(key, result)
+        self._seen[cache_key_digest(key)] = result
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return self.lookup(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> int:
+        """Drop every record (any version); return the number removed."""
+        self._seen.clear()
+        return self._cache.clear()

@@ -28,6 +28,7 @@ from repro.chemistry.hamiltonian import (
     spin_orbital_integrals,
 )
 from repro.chemistry.hartree_fock import (
+    ScfNotConvergedError,
     ScfResult,
     clear_scf_cache,
     molecule_fingerprint,
@@ -61,6 +62,7 @@ __all__ = [
     "BasisFunction",
     "Molecule",
     "build_sto3g_basis",
+    "ScfNotConvergedError",
     "ScfResult",
     "run_rhf",
     "clear_scf_cache",

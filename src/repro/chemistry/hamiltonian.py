@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.chemistry.hartree_fock import ScfResult
+from repro.chemistry.hartree_fock import ScfNotConvergedError, ScfResult
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.operators import FermionOperator
@@ -153,6 +153,7 @@ def build_molecular_hamiltonian(
     n_active_spatial_orbitals: Optional[int] = None,
     n_frozen_spatial_orbitals: int = 0,
     use_cache: bool = True,
+    allow_unconverged: bool = False,
 ) -> MolecularHamiltonian:
     """Build the spin-orbital Hamiltonian, optionally in a frozen-core active space.
 
@@ -170,7 +171,15 @@ def build_molecular_hamiltonian(
         specification, so repeated builds (benchmark sweeps over ansatz
         sizes) skip the MO integral transformation.  Hits return the same
         object — treat it as read-only or pass ``use_cache=False``.
+    allow_unconverged:
+        An unconverged ``scf`` raises
+        :class:`~repro.chemistry.hartree_fock.ScfNotConvergedError` by
+        default — MO integrals from an unconverged reference silently bias
+        every downstream energy and circuit.  Pass True to build from the
+        partial solution anyway (diagnostics, convergence studies).
     """
+    if not scf.converged and not allow_unconverged:
+        raise ScfNotConvergedError(scf)
     cache_key = (n_active_spatial_orbitals, int(n_frozen_spatial_orbitals))
     if use_cache:
         cached = scf._hamiltonian_cache.get(cache_key)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.linalg import eigh
 
+from repro import faults
 from repro.chemistry.basis import BasisFunction, Molecule, build_sto3g_basis
 from repro.chemistry.integrals import (
     build_core_hamiltonian,
@@ -54,6 +55,25 @@ _SCF_CACHE_MAX_ENTRIES = 32
 def clear_scf_cache() -> None:
     """Drop every memoized :func:`run_rhf` solution."""
     _SCF_CACHE.clear()
+
+
+class ScfNotConvergedError(RuntimeError):
+    """The SCF iteration exhausted ``max_iterations`` without converging.
+
+    Carries the best-so-far solution as :attr:`result` so diagnostics (energy
+    trajectory, final density) stay reachable; pass
+    ``allow_unconverged=True`` to :func:`run_rhf` to receive that partial
+    :class:`ScfResult` (``converged=False``) instead of this error.
+    """
+
+    def __init__(self, result: "ScfResult"):
+        super().__init__(
+            f"SCF for {result.molecule.name!r} did not converge in "
+            f"{result.n_iterations} iterations (energy {result.energy:.10f} Ha); "
+            "raise max_iterations, add damping, or pass allow_unconverged=True "
+            "to accept the partial solution"
+        )
+        self.result = result
 
 
 @dataclass
@@ -109,6 +129,7 @@ def run_rhf(
     convergence: float = 1e-8,
     damping: float = 0.0,
     use_cache: bool = True,
+    allow_unconverged: bool = False,
 ) -> ScfResult:
     """Solve the restricted Hartree-Fock equations for a closed-shell molecule.
 
@@ -131,11 +152,25 @@ def run_rhf(
         read-only, or pass ``use_cache=False`` (or call
         :func:`clear_scf_cache`) for a fresh solve.  Only the default STO-3G
         basis path is cached; an explicit ``basis`` always recomputes.
+    allow_unconverged:
+        By default an unconverged SCF raises :class:`ScfNotConvergedError` —
+        a silently unconverged reference poisons every downstream energy.
+        Pass True to receive the partial best-so-far :class:`ScfResult`
+        (``converged=False``) instead, e.g. to inspect the trajectory or seed
+        a retry with damping.
+
+    Raises
+    ------
+    ScfNotConvergedError
+        When the iteration cap is exhausted before convergence and
+        ``allow_unconverged`` is False.  The partial solution is attached as
+        ``.result``.
     """
     if molecule.n_electrons % 2 != 0:
         raise ValueError("restricted HF requires an even number of electrons")
     if not 0.0 <= damping < 1.0:
         raise ValueError("damping must lie in [0, 1)")
+    faults.fire("scf", molecule=molecule.name)
     cache_key = None
     if use_cache and basis is None:
         cache_key = (
@@ -144,6 +179,8 @@ def run_rhf(
         cached = _SCF_CACHE.get(cache_key)
         if cached is not None:
             _SCF_HITS.inc()
+            if not cached.converged and not allow_unconverged:
+                raise ScfNotConvergedError(cached)
             return cached
     _SCF_MISSES.inc()
     integrals_before = integral_cache_stats()
@@ -159,9 +196,14 @@ def run_rhf(
                 if delta:
                     scf_span.set_attribute(f"integrals.{name}", delta)
     if cache_key is not None:
+        # Cached regardless of convergence: the partial solution is the
+        # deterministic outcome of these settings, so a retry with identical
+        # settings should not silently re-run the whole iteration.
         while len(_SCF_CACHE) >= _SCF_CACHE_MAX_ENTRIES:
             _SCF_CACHE.pop(next(iter(_SCF_CACHE)))  # FIFO eviction
         _SCF_CACHE[cache_key] = result
+    if not result.converged and not allow_unconverged:
+        raise ScfNotConvergedError(result)
     return result
 
 

@@ -43,6 +43,7 @@ from repro.core.pipeline import (
     AdvancedCompiler,
     AdvancedPipeline,
     StageContext,
+    StageFailure,
     account_stage,
     classify_stage,
     compile_advanced,
@@ -65,6 +66,7 @@ __all__ = [
     "AdvancedPipeline",
     "CompilerConfig",
     "StageContext",
+    "StageFailure",
     "DEFAULT_STAGES",
     "classify_stage",
     "schedule_hybrid_stage",

@@ -66,11 +66,15 @@ class SortingResult:
     ``cnot_count`` is always the paper's all-to-all accounting;
     ``routed_cost_estimate`` is the distance-weighted cost of the same
     sequence when the sort ran against a topology (``None`` otherwise).
+    ``degraded`` is True when an iteration budget (``max_generations``)
+    truncated the GTSP search: the sequence is valid and best-so-far, but
+    the search stopped short of its configured effort.
     """
 
     ordered_rotations: List[Tuple[PauliRotation, int]]
     cnot_count: int
     routed_cost_estimate: Optional[int] = None
+    degraded: bool = False
 
     def targeted_strings(self) -> List[Tuple[PauliString, int]]:
         """The ``(PauliString, target)`` pairs in compiled order."""
@@ -183,7 +187,9 @@ def result_to_tour(
 
 
 def _finalize_sorting(
-    ordered: List[Tuple[PauliRotation, int]], topology: Optional[Topology]
+    ordered: List[Tuple[PauliRotation, int]],
+    topology: Optional[Topology],
+    degraded: bool = False,
 ) -> SortingResult:
     """Package a targeted sequence with its all-to-all and routed costs."""
     sequence = [(rotation.string, target) for rotation, target in ordered]
@@ -193,6 +199,7 @@ def _finalize_sorting(
         routed_cost_estimate=(
             None if topology is None else routed_sequence_cost_estimate(sequence, topology)
         ),
+        degraded=degraded,
     )
 
 
@@ -203,6 +210,7 @@ def advanced_sort(
     rng: Optional[np.random.Generator] = None,
     seed_tours: Optional[Sequence[Sequence[SortingVertex]]] = None,
     topology: Optional[Topology] = None,
+    max_generations: Optional[int] = None,
 ) -> SortingResult:
     """Order rotations and pick per-rotation targets to minimize the CNOT count.
 
@@ -211,7 +219,9 @@ def advanced_sort(
     :func:`repro.optimizers.solve_gtsp`); the search result is then never
     worse, as a cycle, than the best seed.  With a ``topology`` the GTSP
     weights and the seed comparison both use the distance-weighted routed
-    cost instead of the all-to-all CNOT count.
+    cost instead of the all-to-all CNOT count.  ``max_generations`` is the
+    anytime GA budget (see :func:`repro.optimizers.solve_gtsp`); a truncated
+    search marks the result ``degraded=True``.
     """
     rotations = list(rotations)
     if not rotations:
@@ -239,6 +249,7 @@ def advanced_sort(
         generations=generations,
         rng=rng,
         initial_tours=initial_tours,
+        max_generations=max_generations,
     )
     # Determine the weakest edge of the cycle and cut there (path compilation):
     # the edge with the least interface saving, or — under a topology — the
@@ -269,13 +280,15 @@ def advanced_sort(
         _, (index, target) = solution.tour[(cut + 1 + step) % n]
         ordered.append((rotations[index], target))
 
-    result = _finalize_sorting(ordered, topology)
+    result = _finalize_sorting(ordered, topology, degraded=solution.degraded)
     # The weakest-edge cut minimizes the *cycle* cost, which does not strictly
     # dominate every seed evaluated as a path; compare against the seeds
-    # directly so the result is never worse than one of them.
+    # directly so the result is never worse than one of them.  A seed that
+    # wins keeps the degraded flag: the truncated search is still the reason
+    # the sequence may fall short of the configured effort.
     for tour in seed_tours or ():
         seed_ordered = [(rotations[index], target) for index, target in tour]
-        seed_result = _finalize_sorting(seed_ordered, topology)
+        seed_result = _finalize_sorting(seed_ordered, topology, degraded=solution.degraded)
         if seed_result.objective() < result.objective():
             result = seed_result
     return result

@@ -42,6 +42,15 @@ class CompilerConfig:
         constructions so the genetic search never starts worse than the known
         heuristics.  Off by default to keep results bit-identical with the
         historical pipeline.
+    gamma_budget_steps, sorting_budget_generations:
+        Optional per-stage *anytime budgets* (``None`` = unbounded, the
+        default).  ``gamma_budget_steps`` caps the Γ simulated-annealing
+        walk at that many proposals; ``sorting_budget_generations`` caps the
+        GTSP genetic algorithm at that many generations.  A stage that hits
+        its budget returns its best-so-far result and the compile is flagged
+        ``degraded=True`` (see ``CompileResult.degraded``) instead of
+        running unbounded.  Both budgets are iteration counts, not wall
+        time, so degraded outputs are bit-reproducible for a fixed seed.
     seed:
         Seed of the internal random generator (every flow is deterministic for
         a fixed seed).
@@ -67,6 +76,8 @@ class CompilerConfig:
     sorting_generations: int = 30
     coloring_orders: int = 20
     sorting_seed_tours: bool = False
+    gamma_budget_steps: Optional[int] = None
+    sorting_budget_generations: Optional[int] = None
     seed: Optional[int] = 0
     baseline_pso_particles: int = 10
     baseline_pso_iterations: int = 0
@@ -88,6 +99,13 @@ class CompilerConfig:
             raise ValueError("sorting_generations must be non-negative")
         if self.coloring_orders < 1:
             raise ValueError("coloring_orders must be at least 1")
+        if self.gamma_budget_steps is not None and self.gamma_budget_steps < 1:
+            raise ValueError("gamma_budget_steps must be None or at least 1")
+        if (
+            self.sorting_budget_generations is not None
+            and self.sorting_budget_generations < 0
+        ):
+            raise ValueError("sorting_budget_generations must be None or non-negative")
         if self.baseline_pso_particles < 1:
             raise ValueError("baseline_pso_particles must be at least 1")
         if self.baseline_pso_iterations < 0:

@@ -56,12 +56,18 @@ def excitation_topology_blocks(
 
 @dataclass
 class GammaSearchResult:
-    """Best block-diagonal Γ found by the simulated-annealing search."""
+    """Best block-diagonal Γ found by the simulated-annealing search.
+
+    ``degraded`` is True when a ``max_steps`` budget truncated the annealing
+    walk before its schedule finished: the Γ is the best seen so far, valid
+    but possibly short of the unbudgeted optimum.
+    """
 
     gamma: np.ndarray
     cnot_count: float
     blocks: List[List[int]]
     n_steps: int
+    degraded: bool = False
 
 
 def assemble_gamma(
@@ -95,6 +101,7 @@ def search_block_diagonal_gamma(
     initial_temperature: float = 2.0,
     max_block_size: int = 6,
     rng: Optional[np.random.Generator] = None,
+    max_steps: Optional[int] = None,
 ) -> GammaSearchResult:
     """Simulated-annealing search over block-diagonal Γ matrices.
 
@@ -109,6 +116,11 @@ def search_block_diagonal_gamma(
         "subroutine 1" of Fig. 2 (advanced sorting + generic circuit compiler).
     n_steps:
         Number of SA proposals.
+    max_steps:
+        Anytime iteration budget: stop the walk after this many proposals,
+        returning the best Γ so far flagged ``degraded=True``.  Deterministic
+        for a fixed rng — the truncated walk is an exact prefix of the
+        unbudgeted one.
     """
     rng = rng or np.random.default_rng()
     blocks = excitation_topology_blocks(terms, n_qubits, max_block_size=max_block_size)
@@ -150,7 +162,7 @@ def search_block_diagonal_gamma(
         n_steps=n_steps,
     )
     result = simulated_annealing(
-        initial_state, energy, neighbor, schedule=schedule, rng=rng
+        initial_state, energy, neighbor, schedule=schedule, rng=rng, max_steps=max_steps
     )
     best_gamma = assemble_gamma(n_qubits, blocks, result.best_state)
     if not is_invertible(best_gamma):
@@ -161,5 +173,6 @@ def search_block_diagonal_gamma(
         gamma=best_gamma,
         cnot_count=float(result.best_energy),
         blocks=blocks,
-        n_steps=schedule.n_steps,
+        n_steps=result.n_steps,
+        degraded=result.truncated,
     )

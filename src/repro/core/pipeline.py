@@ -39,6 +39,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
+from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 
 from repro.circuits import Circuit, exponential_sequence_circuit, optimize_circuit
@@ -63,6 +65,40 @@ from repro.core.terms_to_paulis import PauliRotation, required_qubits, terms_to_
 from repro.transforms import LinearEncodingTransform, identity_matrix
 from repro.vqe import ExcitationTerm
 
+#: Compiles whose stages hit an anytime budget (one increment per degraded
+#: stage), in the global obs registry; the ``stage.degraded`` signal of the
+#: batch-robustness layer.
+_STAGE_DEGRADED = get_metrics().counter("stage.degraded")
+
+
+class StageFailure(RuntimeError):
+    """A pipeline stage raised: the typed failure backend fallback chains key on.
+
+    Wraps whatever a stage raised (available as ``__cause__``) with the stage
+    name attached, so callers — :func:`repro.api.compile_batch` and the
+    :class:`~repro.service.CompileService` fallback chains — can distinguish
+    "this backend's pipeline broke on this input" (retryable on another
+    backend) from input validation errors raised before any stage ran.
+    """
+
+    def __init__(self, stage: str, cause: BaseException):
+        super().__init__(f"pipeline stage {stage!r} failed: {cause!r}")
+        self.stage = stage
+
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the message as
+        # the only argument and crash on the missing ``cause``; batch workers
+        # ship these across the process boundary, so rebuild from parts
+        # (``__cause__`` does not survive pickling either way).
+        return (_restore_stage_failure, (self.stage, self.args[0]))
+
+
+def _restore_stage_failure(stage: str, message: str) -> "StageFailure":
+    failure = StageFailure.__new__(StageFailure)
+    RuntimeError.__init__(failure, message)
+    failure.stage = stage
+    return failure
+
 
 @dataclass
 class AdvancedCompilationResult:
@@ -81,6 +117,14 @@ class AdvancedCompilationResult:
     #: Wall seconds per pipeline stage, in execution order (filled by
     #: :meth:`AdvancedPipeline.run`; surfaced as ``CompileResult.stage_timings``).
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Stages whose optimizer hit its anytime budget and returned best-so-far
+    #: (surfaced as ``CompileResult.degraded`` / ``degraded_stages``).
+    degraded_stages: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage returned a budget-truncated (best-so-far) result."""
+        return bool(self.degraded_stages)
 
     @property
     def n_compressed_terms(self) -> int:
@@ -148,6 +192,8 @@ class StageContext:
     result: Optional[AdvancedCompilationResult] = None
     # filled by AdvancedPipeline.run: wall seconds per executed stage
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    # stages that hit their anytime budget (appended by the stage itself)
+    degraded_stages: List[str] = field(default_factory=list)
 
 
 Stage = Callable[[StageContext], None]
@@ -208,10 +254,15 @@ def _resolve_term_parameters(context: StageContext) -> Optional[List[float]]:
 
 
 def gamma_search_stage(context: StageContext) -> None:
-    """Simulated-annealing search of the block-diagonal Γ (Sec. III-C)."""
+    """Simulated-annealing search of the block-diagonal Γ (Sec. III-C).
+
+    Honors ``config.gamma_budget_steps``: a truncated walk records the stage
+    in ``context.degraded_stages`` and keeps the best Γ seen so far.
+    """
     context.gamma = identity_matrix(context.n_qubits)
     if not context.fermionic_terms or not context.config.use_gamma_search:
         return
+    faults.fire("stage.gamma", n_terms=len(context.fermionic_terms))
 
     fermionic = context.fermionic_terms
     term_parameters = _resolve_term_parameters(context)
@@ -231,8 +282,11 @@ def gamma_search_stage(context: StageContext) -> None:
         cost_function=sorting_cost,
         n_steps=context.config.gamma_steps,
         rng=context.rng,
+        max_steps=context.config.gamma_budget_steps,
     )
     context.gamma = search.gamma
+    if search.degraded:
+        context.degraded_stages.append("gamma_search")
 
 
 def transform_stage(context: StageContext) -> None:
@@ -250,7 +304,11 @@ def transform_stage(context: StageContext) -> None:
 
 
 def sort_stage(context: StageContext) -> None:
-    """GTSP advanced sorting with a greedy fallback (Sec. III-B)."""
+    """GTSP advanced sorting with a greedy fallback (Sec. III-B).
+
+    Honors ``config.sorting_budget_generations``: a truncated GA records the
+    stage in ``context.degraded_stages`` and keeps the best tour seen so far.
+    """
     context.sorting = SortingResult(ordered_rotations=[], cnot_count=0)
     if not context.rotations:
         return
@@ -258,6 +316,7 @@ def sort_stage(context: StageContext) -> None:
     if not config.use_advanced_sorting:
         naive_sort_stage(context)
         return
+    faults.fire("stage.sort", n_rotations=len(context.rotations))
     greedy = greedy_sort(context.rotations, topology=config.topology)
     seed_tours = None
     if config.sorting_seed_tours:
@@ -272,7 +331,13 @@ def sort_stage(context: StageContext) -> None:
         rng=context.rng,
         seed_tours=seed_tours,
         topology=config.topology,
+        max_generations=config.sorting_budget_generations,
     )
+    if sorting.degraded:
+        # The budget was hit regardless of whether the greedy construction
+        # ends up winning the comparison below: the configured search effort
+        # was not spent, which is what the flag reports.
+        context.degraded_stages.append("sort")
     # Both results expose the objective the sort ran under (all-to-all CNOTs,
     # or the distance-weighted routed estimate when a topology is set).
     if greedy.objective() < sorting.objective():
@@ -311,6 +376,7 @@ def account_stage(context: StageContext) -> None:
         fermionic_cnot_count=context.sorting.cnot_count,
         gamma=gamma,
         sorting=context.sorting,
+        degraded_stages=tuple(context.degraded_stages),
     )
 
 
@@ -401,6 +467,11 @@ class AdvancedPipeline:
         when tracing is disabled) and its wall time is recorded in
         ``context.stage_seconds`` — cheap enough to stay always-on, so the
         result carries per-stage timings even without tracing.
+
+        A stage that raises is re-raised wrapped in :class:`StageFailure`
+        (original exception as ``__cause__``), the typed signal backend
+        fallback chains retry on.  A stage that hits its anytime budget marks
+        its span ``degraded=True`` and bumps the ``stage.degraded`` counter.
         """
         context = self.make_context(terms, n_qubits=n_qubits, parameters=parameters)
         tracer = get_tracer()
@@ -409,8 +480,18 @@ class AdvancedPipeline:
         ):
             for name, stage in self.stages:
                 stage_start = time.perf_counter()
-                with tracer.span(f"pipeline.{name}"):
-                    stage(context)
+                already_degraded = set(context.degraded_stages)
+                with tracer.span(f"pipeline.{name}") as stage_span:
+                    try:
+                        stage(context)
+                    except StageFailure:
+                        raise
+                    except Exception as exc:
+                        raise StageFailure(name, exc) from exc
+                    for degraded_name in context.degraded_stages:
+                        if degraded_name not in already_degraded:
+                            stage_span.set_attribute("degraded", True)
+                            _STAGE_DEGRADED.inc()
                 context.stage_seconds[name] = time.perf_counter() - stage_start
         if context.result is None:
             raise RuntimeError(

@@ -10,6 +10,10 @@ whether to misbehave.  The registered sites are
 ``compute``           the backend compile inside ``repro.api.batch._compile_job``
 ``pool.worker``       the same entry point, *process-pool children only*
 ``queue``             :meth:`CompileService.submit` enqueueing a job
+``scf``               :func:`repro.chemistry.run_rhf` entering an SCF solve
+``stage.gamma``       the pipeline's ``gamma_search`` stage starting its search
+``stage.sort``        the pipeline's ``sort`` stage starting the GTSP solve
+``checkpoint.write``  :meth:`BatchCheckpoint.record` journaling a finished job
 ====================  =========================================================
 
 and the available actions are
@@ -77,7 +81,17 @@ __all__ = [
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 
 #: The registered injection sites (see the module docstring for placement).
-SITES = ("disk.read", "disk.write", "compute", "pool.worker", "queue")
+SITES = (
+    "disk.read",
+    "disk.write",
+    "compute",
+    "pool.worker",
+    "queue",
+    "scf",
+    "stage.gamma",
+    "stage.sort",
+    "checkpoint.write",
+)
 
 #: The actions a rule may take when its probability draw fires.
 ACTIONS = ("error", "corrupt", "delay", "kill")

@@ -207,11 +207,17 @@ class GtspProblem:
 
 @dataclass
 class GtspResult:
-    """Best tour found by the solver."""
+    """Best tour found by the solver.
+
+    ``generations`` is the number of generations actually evolved; when a
+    ``max_generations`` budget stopped the search early, ``degraded`` is True
+    and the tour is the best individual seen so far (anytime semantics).
+    """
 
     tour: Tour
     cost: float
     generations: int
+    degraded: bool = False
 
 
 class _Chromosome:
@@ -356,6 +362,7 @@ def solve_gtsp(
     cluster_optimization_rate: float = 0.25,
     rng: Optional[np.random.Generator] = None,
     initial_tours: Optional[Sequence[Sequence[Tuple[int, Vertex]]]] = None,
+    max_generations: Optional[int] = None,
 ) -> GtspResult:
     """Solve a GTSP instance with the genetic algorithm described above.
 
@@ -363,6 +370,12 @@ def solve_gtsp(
     (e.g. the greedy nearest-neighbour construction), so the search never
     finishes worse than its best seed.  The random part of the population
     draws the same generator stream with or without seeds.
+
+    ``max_generations`` is an anytime iteration budget: evolve at most this
+    many generations even when ``generations`` asks for more, returning the
+    best tour so far flagged ``degraded=True``.  The budgeted run consumes
+    the same rng stream as a prefix of the unbudgeted one, so the degraded
+    result is deterministic for a fixed seed.
 
     Costs are evaluated incrementally: every chromosome's cost is computed
     exactly once when it is created or re-optimized and carried alongside it,
@@ -374,6 +387,10 @@ def solve_gtsp(
     rng = rng or np.random.default_rng()
     if population_size < 2:
         raise ValueError("population_size must be at least 2")
+    if max_generations is not None and max_generations < 0:
+        raise ValueError("max_generations must be None or non-negative")
+    degraded = max_generations is not None and max_generations < generations
+    n_generations = min(max_generations, generations) if max_generations is not None else generations
 
     population = [_random_chromosome(problem, rng) for _ in range(population_size)]
     if initial_tours:
@@ -387,7 +404,7 @@ def solve_gtsp(
     best_index = min(range(population_size), key=costs.__getitem__)
     best_chromosome, best_cost = population[best_index], costs[best_index]
 
-    for generation in range(generations):
+    for generation in range(n_generations):
         ranked = sorted(range(population_size), key=costs.__getitem__)
         elites = [population[i] for i in ranked[:n_elite]]
         elite_costs = [costs[i] for i in ranked[:n_elite]]
@@ -419,7 +436,10 @@ def solve_gtsp(
     if final_cost < best_cost:
         best_cost = final_cost
     return GtspResult(
-        tour=best_chromosome.tour(problem), cost=best_cost, generations=generations
+        tour=best_chromosome.tour(problem),
+        cost=best_cost,
+        generations=n_generations,
+        degraded=degraded,
     )
 
 

@@ -64,13 +64,19 @@ class AnnealingSchedule:
 
 @dataclass
 class AnnealingResult(Generic[State]):
-    """Outcome of a simulated-annealing run."""
+    """Outcome of a simulated-annealing run.
+
+    ``n_steps`` is the number of proposals actually evaluated; when a
+    ``max_steps`` budget cut the walk short of its schedule, ``truncated`` is
+    True and the result is the best state seen so far (anytime semantics).
+    """
 
     best_state: State
     best_energy: float
     n_accepted: int
     n_steps: int
     energy_trace: List[float] = field(default_factory=list)
+    truncated: bool = False
 
     @property
     def acceptance_rate(self) -> float:
@@ -85,6 +91,7 @@ def simulated_annealing(
     rng: Optional[np.random.Generator] = None,
     record_trace: bool = False,
     delta_energy: Optional[Callable[[State, State], float]] = None,
+    max_steps: Optional[int] = None,
 ) -> AnnealingResult[State]:
     """Minimize ``energy`` over a discrete space with Metropolis-Hastings moves.
 
@@ -113,7 +120,17 @@ def simulated_annealing(
         re-evaluation (e.g. the two changed tour edges of a swap move).  The
         walk then never calls ``energy`` after the initial state; the caller
         is responsible for the delta matching the full difference.
+    max_steps:
+        Anytime iteration budget: stop after this many proposals even if the
+        schedule has more, returning the best state found so far with
+        ``truncated=True``.  The temperature trajectory is still computed
+        from the *schedule's* ``n_steps``, so the first ``max_steps``
+        proposals — and hence the truncated result — are bit-identical to
+        the prefix of the unbudgeted walk for the same rng (deterministic
+        degradation).  ``None`` (the default) runs the full schedule.
     """
+    if max_steps is not None and max_steps < 1:
+        raise ValueError("max_steps must be None or at least 1")
     schedule = schedule or AnnealingSchedule()
     rng = rng or np.random.default_rng()
 
@@ -122,8 +139,10 @@ def simulated_annealing(
     best_state, best_energy = current_state, current_energy
     n_accepted = 0
     trace: List[float] = []
+    truncated = max_steps is not None and max_steps < schedule.n_steps
+    n_run = min(max_steps, schedule.n_steps) if max_steps is not None else schedule.n_steps
 
-    for step in range(schedule.n_steps):
+    for step in range(n_run):
         temperature = schedule.temperature(step)
         candidate = neighbor(current_state, rng)
         if delta_energy is not None:
@@ -152,6 +171,7 @@ def simulated_annealing(
         best_state=best_state,
         best_energy=best_energy,
         n_accepted=n_accepted,
-        n_steps=schedule.n_steps,
+        n_steps=n_run,
         energy_trace=trace,
+        truncated=truncated,
     )

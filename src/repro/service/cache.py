@@ -51,7 +51,8 @@ from repro.api.batch import CacheKey, cache_key_digest
 
 #: Bumped whenever the on-disk entry layout changes; part of every stamp.
 #: 2: CompileResult gained the ``stage_timings`` field.
-CACHE_FORMAT_VERSION = 2
+#: 3: CompileResult gained the ``degraded``/``degraded_stages`` fields.
+CACHE_FORMAT_VERSION = 3
 
 #: The golden regression files the default version stamp is derived from.
 GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"

@@ -9,7 +9,8 @@
   failure/cancellation/backpressure-rejection counts;
 * **queue pressure** — current and peak queue depth;
 * **resilience counters** — deadline timeouts, retries consumed, abandoned
-  compilations, pool-worker crashes, disk faults observed and lookups that
+  compilations, pool-worker crashes, backend-fallback completions, disk
+  faults observed and lookups that
   skipped the disk tier while its circuit breaker was open, plus the
   breaker's open/close transition counts and current state code;
 * **latency histograms** — ``wait`` (submit → worker pickup), ``compute``
@@ -60,6 +61,7 @@ class ServiceMetrics:
         self._retries = self.registry.counter("service.retries")
         self._abandonments = self.registry.counter("service.abandonments")
         self._worker_crashes = self.registry.counter("service.worker_crashes")
+        self._fallbacks = self.registry.counter("service.fallbacks")
         self._disk_faults = self.registry.counter("service.disk_faults")
         self._disk_degraded = self.registry.counter("service.disk_degraded")
         self._breaker_opens = self.registry.counter("service.breaker.opens")
@@ -141,6 +143,15 @@ class ServiceMetrics:
     @worker_crashes.setter
     def worker_crashes(self, value: int) -> None:
         self._worker_crashes.value = value
+
+    @property
+    def fallbacks(self) -> int:
+        """Jobs completed by a fallback backend after their own failed."""
+        return self._fallbacks.value
+
+    @fallbacks.setter
+    def fallbacks(self, value: int) -> None:
+        self._fallbacks.value = value
 
     @property
     def disk_faults(self) -> int:
@@ -250,6 +261,7 @@ class ServiceMetrics:
                 "retries": self.retries,
                 "abandonments": self.abandonments,
                 "worker_crashes": self.worker_crashes,
+                "fallbacks": self.fallbacks,
                 "disk_faults": self.disk_faults,
                 "disk_degraded": self.disk_degraded,
                 "breaker_opens": self.breaker_opens,

@@ -48,6 +48,12 @@ The resilience layer (this PR's reason to exist) is built from the
   straight to memory → compute (graceful degradation), and half-open probes
   re-admit the tier once it heals.  Transitions are counted, gauged and
   emitted as ``service.breaker`` spans.
+* **Backend fallback chains** — ``CompileService(fallback=("gt", "jw"))``
+  retries a job whose backend failed with a typed stage failure, I/O error
+  or worker crash (after the retry policy is exhausted) on the next backend
+  in the chain.  The substitute result is cached under *its own* backend's
+  key (no cache poisoning), served to every submitter, counted in
+  ``metrics.fallbacks`` and traced as a ``service.fallback`` span.
 * **Graceful shutdown** — ``shutdown(drain=True, timeout_s=...)`` stops
   accepting work and finishes what is queued/in flight before closing,
   instead of cancelling it.
@@ -73,11 +79,12 @@ import time
 from concurrent.futures import BrokenExecutor, Executor
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import faults
 from repro.api.backend import CompileRequest, CompileResult, canonical_backend_name
 from repro.api.batch import (
+    FALLBACK_RETRYABLE,
     CacheKey,
     CompileCache,
     _compile_job,
@@ -95,6 +102,11 @@ from repro.service.resilience import (
     RetryPolicy,
     WorkerCrashed,
 )
+
+#: Failure classes the service's backend fallback chain retries on: the
+#: batch layer's set (typed stage failures, I/O errors, broken pools) plus
+#: :class:`WorkerCrashed`, the service's own translation of a died worker.
+_SERVICE_FALLBACK_RETRYABLE: Tuple[type, ...] = FALLBACK_RETRYABLE + (WorkerCrashed,)
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -266,6 +278,12 @@ class CompileService:
     default_deadline_s:
         Deadline applied to submits that don't pass their own (``None`` =
         no deadline).
+    fallback:
+        Backend name(s) to retry a job on when its own backend fails with a
+        retryable error (typed pipeline :class:`~repro.core.StageFailure`,
+        I/O error, worker crash) after the retry policy is exhausted.  Tried
+        in order, one attempt each; a success serves every submitter and is
+        cached under the fallback backend's own key.
 
     Lower ``priority`` values run earlier; ties are FIFO.
     """
@@ -282,6 +300,7 @@ class CompileService:
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         default_deadline_s: Optional[float] = None,
+        fallback: Union[str, Sequence[str]] = (),
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
@@ -304,6 +323,11 @@ class CompileService:
             self._chain_breaker_callback(self.breaker)
             self.metrics.record_breaker_state(self.breaker.state_code)
         self.default_deadline_s = default_deadline_s
+        if isinstance(fallback, str):
+            fallback = (fallback,)
+        self.fallback_chain: Tuple[str, ...] = tuple(
+            canonical_backend_name(name) for name in fallback
+        )
         self._executor = executor
         self._executor_factory = executor_factory
         self._n_workers = n_workers
@@ -696,8 +720,16 @@ class CompileService:
         if broken is not None:
             broken.shutdown(wait=False)
 
-    async def _run_compute_once(self, job: _Job, compute_start: float):
-        """One executor round-trip, with worker-crash translation."""
+    async def _run_compute_once(
+        self, job: _Job, compute_start: float, backend: Optional[str] = None
+    ):
+        """One executor round-trip, with worker-crash translation.
+
+        ``backend`` overrides the job's own backend for fallback-chain
+        attempts; everything else (executor, crash translation, span
+        adoption) is identical.
+        """
+        backend = backend if backend is not None else job.backend
         loop = asyncio.get_running_loop()
         tracer = get_tracer()
         executor = self._executor
@@ -706,11 +738,11 @@ class CompileService:
             # collect their span forest explicitly and rebase it at the
             # compute start time.
             exec_future = loop.run_in_executor(
-                executor, _compile_job_traced, (job.backend, job.request)
+                executor, _compile_job_traced, (backend, job.request)
             )
         else:
             exec_future = loop.run_in_executor(
-                executor, _compile_job, (job.backend, job.request)
+                executor, _compile_job, (backend, job.request)
             )
         job.exec_future = exec_future
         try:
@@ -775,6 +807,42 @@ class CompileService:
                 ):
                     await asyncio.sleep(delay)
 
+    async def _compute_with_fallback(self, job: _Job):
+        """Compute under the retry policy, then walk the backend fallback chain.
+
+        Returns ``(result, fallback_backend)`` where ``fallback_backend`` is
+        ``None`` when the job's own backend (or the lookup) produced the
+        result.  Re-raises the original failure when the chain is empty,
+        ineligible, or exhausted — fallback-attempt errors are subordinate
+        to the primary error the submitters should see.
+        """
+        tracer = get_tracer()
+        try:
+            return await self._compute_with_retries(job), None
+        except asyncio.CancelledError:
+            raise
+        except _SERVICE_FALLBACK_RETRYABLE as exc:
+            for fb_name in self.fallback_chain:
+                if fb_name == job.backend:
+                    continue
+                with tracer.span(
+                    "service.fallback", job_id=job.job_id, backend=fb_name
+                ) as fb_span:
+                    try:
+                        compute_start = time.perf_counter()
+                        result = await self._run_compute_once(
+                            job, compute_start, backend=fb_name
+                        )
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as fb_exc:
+                        fb_span.set_attribute("error", type(fb_exc).__name__)
+                        continue
+                self.metrics.compute.record(time.perf_counter() - compute_start)
+                self.metrics.fallbacks += 1
+                return result, fb_name
+            raise exc
+
     async def _worker(self) -> None:
         while True:
             _, _, job = await self._queue.get()
@@ -804,15 +872,22 @@ class CompileService:
             ) as job_span:
                 with tracer.span("service.lookup"):
                     result, tier = self._lookup(job.key)
+                store_key = job.key
                 if result is None:
-                    result = await self._compute_with_retries(job)
+                    result, fallback_backend = await self._compute_with_fallback(job)
                     if result is _ABANDONED:
                         self._inflight.pop(job.key, None)
                         return
                     tier = "compute"
-                    self._disk_put(job.key, result)
+                    if fallback_backend is not None:
+                        # The caches stay honest: a fallback backend's result
+                        # is stored under its own key, never the failed
+                        # primary's — submitters are served directly instead.
+                        store_key = CompileCache.key(job.request, fallback_backend)
+                        job_span.set_attribute("fallback", fallback_backend)
+                    self._disk_put(store_key, result)
                 if self.memory_cache is not None:
-                    self.memory_cache.put(job.key, result)
+                    self.memory_cache.put(store_key, result)
                 job_span.set_attribute("tier", tier)
         except asyncio.CancelledError:
             for submitter in job.group:

@@ -1,0 +1,93 @@
+"""Unit tests for the crash-safe batch checkpoint journal."""
+
+import pytest
+
+from repro.api import BatchCheckpoint, CompileResult
+from repro.faults import InjectedFault, deactivate, inject
+from repro.service.cache import golden_version_stamp
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    deactivate()
+    yield
+    deactivate()
+
+
+def make_result(cnot=7):
+    return CompileResult(
+        backend="advanced", cnot_count=cnot, n_qubits=4, breakdown={"total": cnot}
+    )
+
+
+#: Keys are plain primitive nests — the journal never interprets them.
+KEY = (("fingerprint", 1, 2.5, None), "advanced")
+OTHER = (("fingerprint", 9), "advanced")
+
+
+class TestJournal:
+    def test_record_lookup_roundtrip(self, tmp_path):
+        checkpoint = BatchCheckpoint(tmp_path)
+        assert checkpoint.lookup(KEY) is None
+        checkpoint.record(KEY, make_result())
+        assert checkpoint.lookup(KEY) == make_result()
+        assert KEY in checkpoint
+        assert OTHER not in checkpoint
+        assert len(checkpoint) == 1
+
+    def test_records_survive_a_new_checkpoint_instance(self, tmp_path):
+        BatchCheckpoint(tmp_path).record(KEY, make_result())
+        resumed = BatchCheckpoint(tmp_path)  # a fresh (resumed) process
+        assert resumed.lookup(KEY) == make_result()
+
+    def test_record_is_atomic_no_temp_files_linger(self, tmp_path):
+        checkpoint = BatchCheckpoint(tmp_path)
+        for index in range(5):
+            checkpoint.record((("fingerprint", index), "advanced"), make_result(index))
+        leftovers = [
+            path
+            for path in tmp_path.rglob("*")
+            if path.is_file() and "tmp" in path.name
+        ]
+        assert leftovers == []
+
+    def test_clear_drops_every_record(self, tmp_path):
+        checkpoint = BatchCheckpoint(tmp_path)
+        checkpoint.record(KEY, make_result())
+        checkpoint.record(OTHER, make_result(9))
+        assert checkpoint.clear() == 2
+        assert len(checkpoint) == 0
+        assert checkpoint.lookup(KEY) is None
+
+
+class TestVersioning:
+    def test_default_version_is_the_golden_stamp(self, tmp_path):
+        assert BatchCheckpoint(tmp_path).version == golden_version_stamp()
+
+    def test_stale_version_records_are_ignored(self, tmp_path):
+        BatchCheckpoint(tmp_path, version="run-a").record(KEY, make_result())
+        assert BatchCheckpoint(tmp_path, version="run-a").lookup(KEY) == make_result()
+        # A checkpoint taken under a different code state never resumes; the
+        # stale record is invalidated (removed) on read rather than served.
+        assert BatchCheckpoint(tmp_path, version="run-b").lookup(KEY) is None
+        assert BatchCheckpoint(tmp_path, version="run-a").lookup(KEY) is None
+
+
+class TestWriteFaultSite:
+    def test_injected_write_fault_surfaces_as_oserror(self, tmp_path):
+        checkpoint = BatchCheckpoint(tmp_path)
+        with inject("checkpoint.write=error:1.0") as plan:
+            with pytest.raises(InjectedFault) as info:
+                checkpoint.record(KEY, make_result())
+        assert info.value.site == "checkpoint.write"
+        assert isinstance(info.value, OSError)
+        assert plan.fired_total("checkpoint.write") == 1
+        # The fault fires before the write: nothing half-journaled.
+        assert checkpoint.lookup(KEY) is None
+
+    def test_fault_free_record_fires_nothing(self, tmp_path):
+        checkpoint = BatchCheckpoint(tmp_path)
+        with inject("checkpoint.write=error:0.0") as plan:
+            checkpoint.record(KEY, make_result())
+        assert plan.evaluations["checkpoint.write"] == 1
+        assert plan.fired_total() == 0

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.chemistry import make_molecule, run_rhf
+from repro.chemistry import (
+    ScfNotConvergedError,
+    build_molecular_hamiltonian,
+    clear_scf_cache,
+    make_molecule,
+    run_rhf,
+)
 from repro.chemistry.basis import Molecule
 
 
@@ -79,3 +85,61 @@ class TestValidation:
         plain = run_rhf(make_molecule("LiH"))
         damped = run_rhf(make_molecule("LiH"), damping=0.3)
         assert np.isclose(plain.energy, damped.energy, atol=1e-6)
+
+
+class TestConvergenceGuard:
+    """Unconverged SCF is a typed error, never a silent bad reference."""
+
+    def test_unconverged_scf_raises_typed_error(self):
+        with pytest.raises(ScfNotConvergedError) as info:
+            run_rhf(make_molecule("H2"), max_iterations=1, use_cache=False)
+        # The partial solution stays reachable for diagnostics.
+        assert info.value.result.converged is False
+        assert isinstance(info.value.result.energy, float)
+
+    def test_error_message_names_the_escape_hatch(self):
+        with pytest.raises(ScfNotConvergedError, match="allow_unconverged"):
+            run_rhf(make_molecule("H2"), max_iterations=1, use_cache=False)
+
+    def test_allow_unconverged_returns_the_partial_result(self):
+        result = run_rhf(
+            make_molecule("H2"),
+            max_iterations=1,
+            use_cache=False,
+            allow_unconverged=True,
+        )
+        assert result.converged is False
+        assert np.isfinite(result.energy)
+
+    def test_cache_hit_of_an_unconverged_solve_still_raises(self):
+        clear_scf_cache()
+        try:
+            partial = run_rhf(
+                make_molecule("H2"), max_iterations=1, allow_unconverged=True
+            )
+            assert not partial.converged
+            # Identical settings hit the cache; the guard applies either way.
+            with pytest.raises(ScfNotConvergedError):
+                run_rhf(make_molecule("H2"), max_iterations=1)
+        finally:
+            clear_scf_cache()
+
+    def test_hamiltonian_build_audits_convergence(self):
+        partial = run_rhf(
+            make_molecule("H2"),
+            max_iterations=1,
+            use_cache=False,
+            allow_unconverged=True,
+        )
+        with pytest.raises(ScfNotConvergedError):
+            build_molecular_hamiltonian(partial, use_cache=False)
+        hamiltonian = build_molecular_hamiltonian(
+            partial, use_cache=False, allow_unconverged=True
+        )
+        assert hamiltonian.n_spin_orbitals == 4
+
+    def test_converged_solve_unaffected_by_the_flag(self):
+        plain = run_rhf(make_molecule("H2"), use_cache=False)
+        tolerant = run_rhf(make_molecule("H2"), use_cache=False, allow_unconverged=True)
+        assert plain.converged and tolerant.converged
+        assert np.isclose(plain.energy, tolerant.energy, atol=1e-10)

@@ -241,5 +241,82 @@ class TestActivation:
         assert "fired=2" in repr(plan)
 
     def test_registry_constants_are_consistent(self):
-        assert set(SITES) == {"disk.read", "disk.write", "compute", "pool.worker", "queue"}
+        assert set(SITES) == {
+            "disk.read",
+            "disk.write",
+            "compute",
+            "pool.worker",
+            "queue",
+            "scf",
+            "stage.gamma",
+            "stage.sort",
+            "checkpoint.write",
+        }
         assert set(ACTIONS) == {"error", "corrupt", "delay", "kill"}
+
+
+class TestSiteIntegration:
+    """The batch-robustness sites fire inside the code paths they name."""
+
+    def test_every_new_site_parses(self):
+        plan = parse_plan(
+            "scf=error:1.0;stage.gamma=error:1.0;"
+            "stage.sort=error:1.0;checkpoint.write=error:1.0"
+        )
+        assert [rule.site for rule in plan.rules] == [
+            "scf",
+            "stage.gamma",
+            "stage.sort",
+            "checkpoint.write",
+        ]
+
+    def test_scf_site_fires_in_run_rhf(self):
+        from repro.chemistry import make_molecule, run_rhf
+
+        with inject("scf=error:1.0"):
+            with pytest.raises(InjectedFault) as info:
+                run_rhf(make_molecule("H2"), use_cache=False)
+        assert info.value.site == "scf"
+
+    def test_stage_gamma_site_surfaces_as_a_stage_failure(self):
+        from repro.api import CompilerConfig
+        from repro.core import AdvancedPipeline, StageFailure
+        from repro.vqe import ExcitationTerm
+
+        # Non-adjacent index pairs: classifies fermionic, so the Γ-search and
+        # sort stages actually run (bosonic/hybrid terms bypass them).
+        terms = (ExcitationTerm(creation=(4, 7), annihilation=(0, 3)),)
+        config = CompilerConfig(
+            gamma_steps=2, sorting_population=2, sorting_generations=1, seed=0
+        )
+        with inject("stage.gamma=error:1.0"):
+            with pytest.raises(StageFailure) as info:
+                AdvancedPipeline(config).run(terms, n_qubits=8)
+        assert info.value.stage == "gamma_search"
+        assert isinstance(info.value.__cause__, InjectedFault)
+
+    def test_stage_sort_site_surfaces_as_a_stage_failure(self):
+        from repro.api import CompilerConfig
+        from repro.core import AdvancedPipeline, StageFailure
+        from repro.vqe import ExcitationTerm
+
+        # Non-adjacent index pairs: classifies fermionic, so the Γ-search and
+        # sort stages actually run (bosonic/hybrid terms bypass them).
+        terms = (ExcitationTerm(creation=(4, 7), annihilation=(0, 3)),)
+        config = CompilerConfig(
+            gamma_steps=2, sorting_population=2, sorting_generations=1, seed=0
+        )
+        with inject("stage.sort=error:1.0"):
+            with pytest.raises(StageFailure) as info:
+                AdvancedPipeline(config).run(terms, n_qubits=8)
+        assert info.value.stage == "sort"
+        assert isinstance(info.value.__cause__, InjectedFault)
+
+    def test_stage_failure_pickles_across_process_boundaries(self):
+        from repro.core import StageFailure
+
+        original = StageFailure("sort", RuntimeError("boom"))
+        restored = pickle.loads(pickle.dumps(original))
+        assert isinstance(restored, StageFailure)
+        assert restored.stage == "sort"
+        assert restored.args == original.args

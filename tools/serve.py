@@ -85,9 +85,13 @@ def build_requests(molecule: str, n_terms: int, seed: int):
 async def serve(args) -> dict:
     requests = build_requests(args.molecule, args.n_terms, args.seed)
     backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    fallback = [name.strip() for name in args.fallback.split(",") if name.strip()]
     disk = PersistentCompileCache(args.cache_dir)
     async with CompileService(
-        disk_cache=disk, n_workers=args.workers, max_queue=args.max_queue
+        disk_cache=disk,
+        n_workers=args.workers,
+        max_queue=args.max_queue,
+        fallback=tuple(fallback),
     ) as service:
         job_ids = []
         for _ in range(args.repeat):
@@ -120,6 +124,9 @@ def main(argv=None) -> int:
                         help="queue bound; a full queue triggers retry_after_s backoff")
     parser.add_argument("--deadline", type=float, default=None,
                         help="per-job deadline in seconds (default: none)")
+    parser.add_argument("--fallback", default="",
+                        help="comma-separated backend fallback chain tried when "
+                             "a job's backend fails (e.g. 'gt,jw'; default: none)")
     args = parser.parse_args(argv)
 
     snapshot = asyncio.run(serve(args))
